@@ -1,0 +1,58 @@
+// Command rmebench regenerates the paper-reproduction experiment tables
+// recorded in EXPERIMENTS.md. Every run is deterministic.
+//
+// Usage:
+//
+//	rmebench            # run every experiment
+//	rmebench -exp E5    # run one experiment (E1..E11)
+//	rmebench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/rmelib/rme/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id to run (E1..E11); empty = all")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	failed := 0
+	for _, r := range all {
+		if *exp != "" && !strings.EqualFold(*exp, r.ID) {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)
+		res := r.Run()
+		for _, tb := range res.Tables {
+			fmt.Println(tb)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  %s\n", n)
+		}
+		if res.Err != nil {
+			fmt.Printf("  FAILED: %v\n", res.Err)
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rmebench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

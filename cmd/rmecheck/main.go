@@ -1,0 +1,85 @@
+// Command rmecheck machine-checks the algorithm's correctness properties:
+// randomized crash-heavy schedules with the Appendix C invariant subset
+// evaluated after every step, over a grid of port counts and seeds.
+//
+// Usage:
+//
+//	rmecheck                      # default grid
+//	rmecheck -k 8 -seeds 50       # one port count, more seeds
+//	rmecheck -crashes 100 -v      # heavier crash storms, verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func main() {
+	var (
+		kFlag    = flag.Int("k", 0, "port count to check (0 = grid {2,3,4,8,16})")
+		seeds    = flag.Int("seeds", 20, "random schedules per configuration")
+		crashes  = flag.Int("crashes", 40, "crash budget per run")
+		passages = flag.Uint64("passages", 8, "passages each process must complete")
+		verbose  = flag.Bool("v", false, "print per-run statistics")
+	)
+	flag.Parse()
+
+	grid := []int{2, 3, 4, 8, 16}
+	if *kFlag > 0 {
+		grid = []int{*kFlag}
+	}
+
+	totalRuns, totalSteps, totalCrashes, violations := 0, uint64(0), uint64(0), 0
+	for _, k := range grid {
+		for seed := 0; seed < *seeds; seed++ {
+			mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: k})
+			sh := core.NewShared(mem, core.Config{Ports: k})
+			procs := make([]*core.Proc, k)
+			sp := make([]sched.Proc, k)
+			for i := range procs {
+				procs[i] = core.NewProc(sh, i, i, 1)
+				sp[i] = procs[i]
+			}
+			ck := core.NewChecker(sh, procs)
+			rng := xrand.New(uint64(seed)*6151 + uint64(k))
+			var fail error
+			r := &sched.Runner{
+				Procs: sp,
+				Sched: sched.Random{Src: rng},
+				Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 40, Budget: *crashes},
+				OnStep: func(sched.StepEvent) {
+					if fail == nil {
+						fail = ck.Check()
+					}
+				},
+				StopWhen: sched.AllPassagesAtLeast(sp, *passages),
+				MaxSteps: 1 << 26,
+			}
+			if err := r.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "rmecheck: k=%d seed=%d wedged: %v\n", k, seed, err)
+				violations++
+				continue
+			}
+			totalRuns++
+			totalSteps += r.Steps()
+			totalCrashes += r.TotalCrashes()
+			if fail != nil {
+				violations++
+				fmt.Fprintf(os.Stderr, "rmecheck: k=%d seed=%d INVARIANT VIOLATION: %v\n", k, seed, fail)
+			} else if *verbose {
+				fmt.Printf("k=%d seed=%d: ok (%d steps, %d crashes)\n", k, seed, r.Steps(), r.TotalCrashes())
+			}
+		}
+	}
+	fmt.Printf("rmecheck: %d runs, %d steps checked, %d crashes injected, %d violations\n",
+		totalRuns, totalSteps, totalCrashes, violations)
+	if violations > 0 {
+		os.Exit(1)
+	}
+}

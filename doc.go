@@ -1,0 +1,56 @@
+// Package rme is a recoverable mutual-exclusion (RME) library for Go,
+// implementing the algorithm of Jayanti, Jayanti and Joshi, "A Recoverable
+// Mutex Algorithm with Sub-logarithmic RMR on Both CC and DSM" (PODC 2019).
+//
+// # What "recoverable" means
+//
+// A recoverable mutex keeps working when a participant dies mid-operation.
+// All lock state lives in stable storage (in this library: ordinary heap
+// memory owned by the Mutex, standing in for non-volatile main memory),
+// while the participant's own variables are lost with it. A replacement
+// participant that calls Lock with the same port recovers exactly where the
+// dead one left off:
+//
+//   - died inside the critical section → Lock returns immediately, still
+//     holding the CS, before anyone else can enter (wait-free critical
+//     section re-entry);
+//   - died while waiting → Lock resumes waiting at the right queue
+//     position, repairing the lock's queue first if the death broke it;
+//   - died during Unlock → the next Lock finishes the interrupted release
+//     and then starts a fresh acquisition.
+//
+// The algorithm is an MCS-style FIFO queue lock made crash-tolerant: it
+// spins only on locally-cached (or partition-local) words, uses only the
+// atomic swap primitive, and has a wait-free Unlock.
+//
+// # Ports
+//
+// Capacity is expressed in "ports" (the paper's model): a Mutex created
+// with New(k) serves k concurrent super-passages. Each acquisition attempt
+// — including all its crash/recovery retries — must use one port
+// exclusively; two live goroutines must never share a port. Ports are how a
+// successor process proves it is the continuation of a dead one.
+//
+// Two lock shapes are provided: Mutex is the paper's flat k-ported
+// algorithm (O(1) RMRs per crash-free passage), and TreeMutex is the
+// Section 3.3 arbitration tree for n processes (O((1+f)·log n/log log n)
+// per super-passage, the paper's headline bound).
+//
+// # Crash injection
+//
+// Real deployments get crashes from the outside world; tests need them on
+// demand. SetCrashFunc installs a hook consulted at every labeled step of
+// the algorithm; when it returns true the calling goroutine panics with a
+// value recognized by AsCrash, modeling a process that died at exactly that
+// instruction. The lock's shared state remains valid; recovery is a new
+// Lock call on the same port.
+//
+// # Verification
+//
+// This package is a direct port of the step-machine implementation in
+// internal/core, which is validated against the paper's own Appendix C
+// invariant on randomized and adversarial schedules, reproduces the
+// Figure 5 repair walkthrough exactly, and is exercised by the experiment
+// suite in EXPERIMENTS.md. The runtime port adds race-detector stress tests
+// and crash-injection sweeps of its own.
+package rme

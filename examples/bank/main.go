@@ -1,0 +1,186 @@
+// bank: concurrent transfers between accounts under the recoverable mutex,
+// with injected crashes. The conserved quantity — the sum over all accounts
+// — must be intact at the end, and it is, because a worker that dies inside
+// the critical section is resumed by its successor *before anyone else can
+// observe the half-done transfer* (critical-section re-entry, the paper's
+// CSR property).
+//
+// For contrast, run with -unsafe to replace crash recovery by "just start
+// over with a fresh lock-free retry", which loses CSR and corrupts the
+// balance sheet.
+//
+//	go run ./examples/bank
+//	go run ./examples/bank -unsafe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	rme "github.com/rmelib/rme"
+)
+
+const (
+	accounts   = 16
+	ports      = 4
+	transfers  = 800
+	initalBal  = 1000
+	totalMoney = accounts * initalBal
+)
+
+// ledger is the NVM state: balances plus a per-port transfer journal.
+type ledger struct {
+	m       *rme.Mutex
+	balance [accounts]int
+	// journal[port] records the in-flight transfer and how far it got, so
+	// a successor can finish it (redo logging, one slot per port).
+	journal [ports]journalEntry
+}
+
+type journalEntry struct {
+	from, to  int
+	amount    int
+	debited   bool
+	credited  bool
+	completed bool
+}
+
+func withRecovery(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCrash := rme.AsCrash(r); !isCrash {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	fn()
+	return true
+}
+
+func (l *ledger) lockRetry(port int) {
+	for !withRecovery(func() { l.m.Lock(port) }) {
+	}
+}
+
+func (l *ledger) unlockRetry(port int) {
+	for {
+		if withRecovery(func() { l.m.Unlock(port) }) {
+			return
+		}
+		l.lockRetry(port)
+	}
+}
+
+// transfer moves money with full crash recovery: the journal is written
+// before the mutation, each mutation step is recorded, and a successor
+// resumes exactly where the dead worker stopped — including a death right
+// between the debit and the credit (the explicit CrashPoint below). CSR
+// guarantees no other worker sees the half-done state in between.
+func (l *ledger) transfer(port, from, to, amount int) {
+	j := &l.journal[port]
+	*j = journalEntry{from: from, to: to, amount: amount}
+	for {
+		ok := withRecovery(func() {
+			l.m.Lock(port) // recovers whatever a dead predecessor left
+			if !j.debited {
+				l.balance[j.from] -= j.amount
+				j.debited = true
+			}
+			l.m.CrashPoint(port, "app.mid-transfer")
+			if !j.credited {
+				l.balance[j.to] += j.amount
+				j.credited = true
+			}
+			j.completed = true
+			l.m.Unlock(port)
+		})
+		if ok {
+			break
+		}
+	}
+	*j = journalEntry{}
+}
+
+// transferUnsafe demonstrates the failure mode the recoverable mutex
+// prevents: on a crash it abandons the passage and retries the whole
+// transfer from scratch with no journal, so a death between the debit and
+// the credit destroys money.
+func (l *ledger) transferUnsafe(port, from, to, amount int) {
+	for {
+		done := withRecovery(func() {
+			l.m.Lock(port)
+			l.balance[from] -= amount
+			// An application-level crash point between debit and credit.
+			l.m.CrashPoint(port, "app.mid-transfer")
+			l.balance[to] += amount
+			l.m.Unlock(port)
+		})
+		if done {
+			return
+		}
+		// "Recovery": release whatever we still hold, then blind retry.
+		if l.m.Held(port) {
+			l.unlockRetry(port)
+		}
+	}
+}
+
+func main() {
+	unsafe := flag.Bool("unsafe", false, "use the non-recoverable retry strategy (loses money)")
+	flag.Parse()
+
+	l := &ledger{m: rme.New(ports)}
+	for i := range l.balance {
+		l.balance[i] = initalBal
+	}
+
+	var calls, crashCount atomic.Uint64
+	l.m.SetCrashFunc(func(port int, point string) bool {
+		c := calls.Add(1)
+		z := c + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		if z%601 == 0 {
+			crashCount.Add(1)
+			return true
+		}
+		return false
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			rng := uint64(port + 1)
+			for i := 0; i < transfers; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % accounts
+				to := (from + 1 + int(rng>>13)%(accounts-1)) % accounts
+				if *unsafe {
+					l.transferUnsafe(port, from, to, 1+int(rng)%10)
+				} else {
+					l.transfer(port, from, to, 1+int(rng)%10)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, b := range l.balance {
+		total += b
+	}
+	fmt.Printf("crashes survived: %d\n", crashCount.Load())
+	fmt.Printf("total money:      %d (want %d)\n", total, totalMoney)
+	switch {
+	case total == totalMoney:
+		fmt.Println("OK: conservation held through the crash storm")
+	case *unsafe:
+		fmt.Println("EXPECTED FAILURE: without journaled recovery, crashes destroy money")
+	default:
+		fmt.Println("BUG: money not conserved")
+	}
+}

@@ -1,0 +1,135 @@
+// kvstore: a crash-consistent key-value store guarded by the recoverable
+// mutex. Workers apply read-modify-write transactions; injected crashes
+// kill them at arbitrary protocol steps (including while holding the lock
+// or half-way through releasing it); the same worker loop recovers by
+// re-calling Lock on its port, exactly as a restarted process would.
+//
+// The store and the per-port intent records live in "non-volatile" memory
+// (heap owned by the store, surviving worker deaths), mirroring how the
+// lock itself survives. The invariant checked at the end: every transaction
+// applied exactly once, despite hundreds of injected crashes.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	rme "github.com/rmelib/rme"
+)
+
+// intent is a redo record, written before the store mutation so a
+// successor can tell whether a dead worker's transaction still needs
+// applying. One slot per port: a port runs one transaction at a time.
+type intent struct {
+	key     string
+	delta   int
+	applied bool // set inside the CS, once the mutation hit the store
+}
+
+// store is the NVM side: the map, the per-port intent slots, and the lock.
+type store struct {
+	m       *rme.Mutex
+	data    map[string]int
+	intents []intent
+}
+
+func newStore(ports int) *store {
+	return &store{
+		m:       rme.New(ports),
+		data:    make(map[string]int),
+		intents: make([]intent, ports),
+	}
+}
+
+// crashes counts injected deaths, for the report.
+var crashes atomic.Int64
+
+// withRecovery runs fn, converting an injected crash into a false return
+// (any other panic propagates).
+func withRecovery(fn func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCrash := rme.AsCrash(r); !isCrash {
+				panic(r)
+			}
+			crashes.Add(1)
+			ok = false
+		}
+	}()
+	fn()
+	return true
+}
+
+// lockRetry is the recovery protocol: a worker that died during Lock is
+// replaced by re-calling Lock on the same port.
+func (s *store) lockRetry(port int) {
+	for !withRecovery(func() { s.m.Lock(port) }) {
+	}
+}
+
+// unlockRetry releases the CS; a death during Unlock is recovered by
+// re-acquiring (the algorithm completes the interrupted release first) and
+// trying again. The intent's applied flag prevents double-applying.
+func (s *store) unlockRetry(port int) {
+	for {
+		if withRecovery(func() { s.m.Unlock(port) }) {
+			return
+		}
+		s.lockRetry(port)
+	}
+}
+
+// apply commits one transaction through port, surviving any number of
+// injected crashes.
+func (s *store) apply(port int, key string, delta int) {
+	in := &s.intents[port]
+	*in = intent{key: key, delta: delta}
+	s.lockRetry(port)
+	if !in.applied { // skip if a predecessor instance already applied it
+		s.data[in.key] += in.delta
+		in.applied = true
+	}
+	s.unlockRetry(port)
+	in.applied = false
+}
+
+func main() {
+	const ports, perWorker = 6, 500
+	s := newStore(ports)
+
+	// Random crash injection across every protocol step.
+	var calls atomic.Uint64
+	s.m.SetCrashFunc(func(port int, point string) bool {
+		c := calls.Add(1)
+		z := c + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z%701 == 0
+	})
+
+	var wg sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.apply(port, fmt.Sprintf("key-%d", i%8), 1)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, v := range s.data {
+		total += v
+	}
+	fmt.Printf("transactions applied: %d\n", total)
+	fmt.Printf("crashes survived:     %d\n", crashes.Load())
+	if total == ports*perWorker {
+		fmt.Println("OK: every transaction applied exactly once despite the crash storm")
+	} else {
+		fmt.Printf("MISMATCH: want %d\n", ports*perWorker)
+	}
+}

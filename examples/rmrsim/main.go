@@ -1,0 +1,30 @@
+// rmrsim: run the head-to-head RMR comparison (experiment E5) on the
+// simulated CC and DSM machines and print the table the paper's complexity
+// claims predict: MCS and the paper's flat algorithm stay O(1) per passage,
+// the read/write tournament grows like log n, the paper's arbitration tree
+// sits in between at O(log n / log log n) — and of the four, only the
+// paper's two are recoverable.
+//
+//	go run ./examples/rmrsim
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/rmelib/rme/internal/experiments"
+)
+
+func main() {
+	res := experiments.E5Comparison()
+	for _, tb := range res.Tables {
+		fmt.Println(tb)
+	}
+	for _, n := range res.Notes {
+		fmt.Println("  " + n)
+	}
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "rmrsim: %v\n", res.Err)
+		os.Exit(1)
+	}
+}

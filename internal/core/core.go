@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the k-ported
+// recoverable mutual-exclusion algorithm of Figures 3–4 (Jayanti, Jayanti,
+// Joshi, PODC 2019), line-accurate, as a step machine over the simulated
+// NVRAM of internal/memsim.
+//
+// The algorithm is an MCS-style queue lock made recoverable:
+//
+//   - each passage uses a QNode holding a Pred pointer and two Signal
+//     objects (internal/sigobj): CS_Signal, by which the predecessor hands
+//     the critical section over, and NonNil_Signal, by which repairing
+//     processes wait for the node's Pred to become non-NIL;
+//   - a port table Node[0..k-1] binds in-flight QNodes to ports so a
+//     crashed process can find the node of its interrupted passage;
+//   - a process that crashed around its FAS on Tail (lines 13–14) repairs
+//     the queue inside the CS of an auxiliary recoverable lock, RLock
+//     (internal/rlock): it scans the Node table, builds the fragment graph,
+//     computes its maximal paths, and re-attaches its own fragment either
+//     by a fresh FAS on Tail (line 47) or by pointing at the head fragment
+//     or the SpecialNode (line 48). Exploration is *shallow* — each scanned
+//     node contributes one edge — which is what gives O(k) local steps and
+//     an O(1)-word cache footprint (§1.5); the deep-exploration variant of
+//     Golab–Hendler is available behind Config.DeepExploration for the
+//     ablation experiment E9.
+//
+// Program counters follow the paper's line numbers (value = 10×line, with
+// sub-steps for Signal calls), and each machine maintains the hidden
+// variable P̂C from the annotated Figures 6–7, which the invariant checker
+// (invariant.go) uses to verify the Appendix C conditions at every step.
+//
+// Complexity (Theorem 2, measured by experiments E2/E3): O(1) RMRs per
+// crash-free passage and O(f·k) for a super-passage with f crashes, on both
+// CC and DSM.
+package core
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/rlock"
+	"github.com/rmelib/rme/internal/sigobj"
+)
+
+// QNode field offsets. A QNode occupies NodeWords consecutive words:
+// Pred, then the two embedded Signal instances.
+const (
+	OffPred   = 0
+	OffNonNil = 1 // NonNil_Signal (sigobj.Words wide)
+	OffCS     = 3 // CS_Signal (sigobj.Words wide)
+	NodeWords = 5
+)
+
+// Config parameterizes one lock instance.
+type Config struct {
+	// Ports is k, the number of ports (Figure 3). Every in-flight
+	// super-passage owns one port exclusively.
+	Ports int
+	// DeepExploration switches the repair scan to Golab–Hendler-style deep
+	// chasing of predecessor chains (experiment E9's ablation). The default
+	// (false) is the paper's shallow exploration.
+	DeepExploration bool
+}
+
+// Shared is the NVRAM layout of one lock instance: the sentinel QNodes, the
+// SpecialNode, the Tail pointer, the Node port table and the embedded
+// RLock. Shared is immutable after construction (all mutable state lives in
+// simulated memory) and is used by up to k Handles concurrently.
+type Shared struct {
+	mem *memsim.Memory
+	cfg Config
+
+	// Sentinel QNodes (Figure 3): Crash.Pred = &Crash, InCS.Pred = &InCS,
+	// Exit.Pred = &Exit.
+	CrashNode memsim.Addr
+	InCSNode  memsim.Addr
+	ExitNode  memsim.Addr
+	// SpecialNode.Pred = &Exit with both signals pre-set.
+	SpecialNode memsim.Addr
+
+	// Tail points at the most recent queue node (initially &SpecialNode).
+	Tail memsim.Addr
+	// NodeTab is the base of the Node[0..k-1] array (initially all NIL).
+	NodeTab memsim.Addr
+
+	// RLock is the repair lock: a k-ported starvation-free RME lock with
+	// O(k) RMRs per passage (Figure 3's requirement).
+	RLock *rlock.Lock
+
+	// allNodes mirrors the paper's hidden set N (every QNode created at
+	// line 11) for the invariant checker; the algorithm never reads it.
+	allNodes []memsim.Addr
+}
+
+// NewShared allocates a lock instance in mem. Sentinels, Tail and the Node
+// table live in the shared home region: on DSM every access to them is
+// remote, matching the paper's accounting (the per-passage count of such
+// accesses is O(1)).
+func NewShared(mem *memsim.Memory, cfg Config) *Shared {
+	if cfg.Ports <= 0 {
+		panic("core: Ports must be positive")
+	}
+	s := &Shared{mem: mem, cfg: cfg}
+
+	alloc := func() memsim.Addr { return mem.Alloc(memsim.HomeShared, NodeWords) }
+	s.CrashNode = alloc()
+	s.InCSNode = alloc()
+	s.ExitNode = alloc()
+	s.SpecialNode = alloc()
+	mem.Poke(s.CrashNode+OffPred, memsim.Word(s.CrashNode))
+	mem.Poke(s.InCSNode+OffPred, memsim.Word(s.InCSNode))
+	mem.Poke(s.ExitNode+OffPred, memsim.Word(s.ExitNode))
+	mem.Poke(s.SpecialNode+OffPred, memsim.Word(s.ExitNode))
+	sigobj.ForceSet(mem, s.SpecialNode+OffNonNil)
+	sigobj.ForceSet(mem, s.SpecialNode+OffCS)
+
+	s.Tail = mem.Alloc(memsim.HomeShared, 1)
+	mem.Poke(s.Tail, memsim.Word(s.SpecialNode))
+
+	s.NodeTab = mem.Alloc(memsim.HomeShared, cfg.Ports)
+	s.RLock = rlock.New(mem, cfg.Ports)
+	return s
+}
+
+// Ports returns k.
+func (s *Shared) Ports() int { return s.cfg.Ports }
+
+// Mem returns the backing memory (used by checkers and renderers).
+func (s *Shared) Mem() *memsim.Memory { return s.mem }
+
+// nodeCell returns the address of Node[p].
+func (s *Shared) nodeCell(p int) memsim.Addr {
+	if p < 0 || p >= s.cfg.Ports {
+		panic(fmt.Sprintf("core: port %d out of range [0,%d)", p, s.cfg.Ports))
+	}
+	return s.NodeTab + memsim.Addr(p)
+}
+
+// IsSentinel reports whether a is one of &Crash, &InCS, &Exit.
+func (s *Shared) IsSentinel(a memsim.Addr) bool {
+	return a == s.CrashNode || a == s.InCSNode || a == s.ExitNode
+}
+
+// SentinelName renders sentinel addresses for traces and test output.
+func (s *Shared) SentinelName(a memsim.Addr) string {
+	switch a {
+	case s.CrashNode:
+		return "&Crash"
+	case s.InCSNode:
+		return "&InCS"
+	case s.ExitNode:
+		return "&Exit"
+	case s.SpecialNode:
+		return "&Special"
+	case memsim.NilAddr:
+		return "NIL"
+	default:
+		return fmt.Sprintf("node@%d", a)
+	}
+}
+
+// PeekPred reads a node's Pred without accounting (checkers only).
+func (s *Shared) PeekPred(node memsim.Addr) memsim.Addr {
+	return memsim.Addr(s.mem.Peek(node + OffPred))
+}
+
+// PeekNodeCell reads Node[p] without accounting (checkers only).
+func (s *Shared) PeekNodeCell(p int) memsim.Addr {
+	return memsim.Addr(s.mem.Peek(s.nodeCell(p)))
+}
+
+// PeekTail reads Tail without accounting (checkers only).
+func (s *Shared) PeekTail() memsim.Addr {
+	return memsim.Addr(s.mem.Peek(s.Tail))
+}

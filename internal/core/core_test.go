@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func newWorld(t testing.TB, model memsim.Model, ports, dwell int) (*memsim.Memory, *Shared, []*Proc) {
+	t.Helper()
+	mem := memsim.New(memsim.Config{Model: model, Procs: ports})
+	sh := NewShared(mem, Config{Ports: ports})
+	procs := make([]*Proc, ports)
+	for i := 0; i < ports; i++ {
+		procs[i] = NewProc(sh, i, i, 1)
+		_ = dwell
+		procs[i].dwell = dwell
+	}
+	return mem, sh, procs
+}
+
+func asSched(ps []*Proc) []sched.Proc {
+	out := make([]sched.Proc, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+func countCS(ps []*Proc) int {
+	n := 0
+	for _, p := range ps {
+		if p.Section() == sched.CS {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSingleProcessPassages(t *testing.T) {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			_, sh, procs := newWorld(t, model, 1, 2)
+			ck := NewChecker(sh, procs)
+			r := &sched.Runner{
+				Procs: asSched(procs),
+				OnStep: func(sched.StepEvent) {
+					if err := ck.Check(); err != nil {
+						t.Fatalf("invariant: %v", err)
+					}
+				},
+				StopWhen: sched.AllPassagesAtLeast(asSched(procs), 5),
+			}
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMutualExclusionAndInvariantNoCrashes(t *testing.T) {
+	for _, ports := range []int{2, 3, 4, 8} {
+		for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+			t.Run(fmt.Sprintf("k%d_%s", ports, model), func(t *testing.T) {
+				_, sh, procs := newWorld(t, model, ports, 1)
+				ck := NewChecker(sh, procs)
+				var fail error
+				r := &sched.Runner{
+					Procs: asSched(procs),
+					Sched: sched.Random{Src: xrand.New(uint64(ports)*31 + uint64(model))},
+					OnStep: func(sched.StepEvent) {
+						if fail == nil {
+							fail = ck.Check()
+						}
+						if fail == nil && countCS(procs) > 1 {
+							fail = fmt.Errorf("two clients in CS")
+						}
+					},
+					StopWhen: sched.AllPassagesAtLeast(asSched(procs), 15),
+				}
+				if err := r.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if fail != nil {
+					t.Fatal(fail)
+				}
+			})
+		}
+	}
+}
+
+func TestMutualExclusionAndInvariantWithCrashes(t *testing.T) {
+	for _, ports := range []int{2, 4, 8} {
+		for seed := uint64(0); seed < 10; seed++ {
+			t.Run(fmt.Sprintf("k%d_seed%d", ports, seed), func(t *testing.T) {
+				_, sh, procs := newWorld(t, memsim.DSM, ports, 1)
+				ck := NewChecker(sh, procs)
+				rng := xrand.New(seed*1009 + uint64(ports))
+				var fail error
+				r := &sched.Runner{
+					Procs: asSched(procs),
+					Sched: sched.Random{Src: rng},
+					Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 60, Budget: 30},
+					OnStep: func(sched.StepEvent) {
+						if fail == nil {
+							fail = ck.Check()
+						}
+					},
+					StopWhen: sched.AllPassagesAtLeast(asSched(procs), 8),
+				}
+				if err := r.Run(); err != nil {
+					t.Fatalf("run wedged: %v (crashes=%d)", err, r.TotalCrashes())
+				}
+				if fail != nil {
+					t.Fatal(fail)
+				}
+			})
+		}
+	}
+}
+
+func TestPassageRMRConstantCrashFree(t *testing.T) {
+	// Theorem 2's crash-free half (experiment E2): RMRs per passage must
+	// not grow with k. Assert a fixed envelope that holds for k=2 and must
+	// still hold at k=64.
+	const envelope = 40.0
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for _, ports := range []int{2, 4, 8, 16, 32, 64} {
+			t.Run(fmt.Sprintf("%s_k%d", model, ports), func(t *testing.T) {
+				mem, _, procs := newWorld(t, model, ports, 0)
+				r := &sched.Runner{
+					Procs:    asSched(procs),
+					Sched:    sched.Random{Src: xrand.New(uint64(ports))},
+					StopWhen: sched.AllPassagesAtLeast(asSched(procs), 12),
+					MaxSteps: 1 << 24,
+				}
+				if err := r.Run(); err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range procs {
+					per := float64(mem.Stats(i).RMRs) / float64(p.Passages())
+					if per > envelope {
+						t.Errorf("k=%d proc %d: %.1f RMRs/passage > %.0f (should be O(1))",
+							ports, i, per, envelope)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestWaitingIsLocalOnDSM(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 2, 0)
+	mem := procs[0].mem
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	d.Step(1, 40) // proc 1 reaches its CS-signal wait and spins
+	before := mem.Stats(1).RMRs
+	d.Step(1, 5000)
+	if after := mem.Stats(1).RMRs; after != before {
+		t.Fatalf("spinning cost %d RMRs on DSM; want 0", after-before)
+	}
+}
+
+func TestWaitFreeExit(t *testing.T) {
+	// Lemma 6: the Exit section (lines 27–29) completes in a bounded number
+	// of the exiting process's own steps, regardless of contention.
+	_, _, procs := newWorld(t, memsim.DSM, 8, 0)
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	for id := 1; id < 8; id++ {
+		d.Step(id, 25) // rivals pile up mid-Try
+	}
+	if !d.StepUntilSection(0, sched.Exit) {
+		t.Fatal("no Exit")
+	}
+	const bound = 8 // line 27 + set() (3) + line 29 + client bookkeeping
+	steps := 0
+	for procs[0].Section() == sched.Exit {
+		d.Step(0, 1)
+		steps++
+		if steps > bound {
+			t.Fatalf("exit took more than %d steps", bound)
+		}
+	}
+}
+
+func TestWaitFreeCSR(t *testing.T) {
+	// Lemma 7: a process that crashes in the CS re-enters it within a
+	// bounded number of its own steps, and (Lemma 8 / CSR) nobody else
+	// enters the CS in between.
+	_, _, procs := newWorld(t, memsim.DSM, 4, 2)
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	for id := 1; id < 4; id++ {
+		d.Step(id, 30)
+	}
+	d.Crash(0)
+
+	for i := 0; i < 400; i++ {
+		for id := 1; id < 4; id++ {
+			d.Step(id, 1)
+			if countCS(procs) > 0 {
+				t.Fatal("CSR violated: another process entered the CS")
+			}
+		}
+	}
+	steps := 0
+	for procs[0].Section() != sched.CS {
+		d.Step(0, 1)
+		steps++
+		if steps > 10 {
+			t.Fatalf("crashed holder took %d steps to re-enter the CS", steps)
+		}
+	}
+}
+
+func TestCrashAtEveryLineRecovers(t *testing.T) {
+	// The sweep the proof does by hand: crash a process at every program
+	// counter once, then require the whole system to keep making progress
+	// with the invariant intact.
+	pcs := []int{PCL10, PCL11, PCL12, PCL13, PCL14, PCL15, PCL17, PCL18r,
+		PCL18w, PCL19, PCL23, PCL24, PCL30, PCL31, PCL33, PCL35, PCL36,
+		PCL39, PCL43, PCL44, PCL46, PCL47, PCL48, PCL49, PCRUnl, PCL25,
+		PCL26, PCL27, PCL28, PCL29}
+	for _, pc := range pcs {
+		t.Run(fmt.Sprintf("pc%d", pc), func(t *testing.T) {
+			_, sh, procs := newWorld(t, memsim.DSM, 4, 1)
+			ck := NewChecker(sh, procs)
+			var fail error
+			rng := xrand.New(uint64(pc) * 13)
+			r := &sched.Runner{
+				Procs: asSched(procs),
+				Sched: sched.Random{Src: rng},
+				Crash: &sched.CrashAtPC{Proc: 0, PC: pc, Times: 2},
+				OnStep: func(sched.StepEvent) {
+					if fail == nil {
+						fail = ck.Check()
+					}
+				},
+				StopWhen: sched.AllPassagesAtLeast(asSched(procs), 6),
+			}
+			if err := r.Run(); err != nil {
+				t.Fatalf("wedged after crash at pc %d: %v", pc, err)
+			}
+			if fail != nil {
+				t.Fatal(fail)
+			}
+		})
+	}
+}
+
+func TestStarvationFreedomSkewedScheduling(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 3, 0)
+	r := &sched.Runner{
+		Procs:    asSched(procs),
+		Sched:    sched.NewWeightedRandom(xrand.New(3), []int{40, 40, 1}),
+		StopWhen: func() bool { return procs[2].Passages() >= 4 },
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("starved process never completed: %v", err)
+	}
+}
+
+func TestCrashStormThenQuiescence(t *testing.T) {
+	_, sh, procs := newWorld(t, memsim.DSM, 6, 1)
+	rng := xrand.New(77)
+	r := &sched.Runner{
+		Procs: asSched(procs),
+		Sched: sched.Random{Src: rng},
+		Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 15, Budget: 120},
+	}
+	r.StopWhen = func() bool { return r.TotalCrashes() >= 120 }
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ck := NewChecker(sh, procs)
+	var fail error
+	base := procs[0].Passages()
+	r2 := &sched.Runner{
+		Procs: asSched(procs),
+		Sched: sched.Random{Src: rng.Fork()},
+		OnStep: func(sched.StepEvent) {
+			if fail == nil {
+				fail = ck.Check()
+			}
+		},
+		StopWhen: sched.AllPassagesAtLeast(asSched(procs), base+8),
+	}
+	if err := r2.Run(); err != nil {
+		t.Fatalf("no progress after storm: %v", err)
+	}
+	if fail != nil {
+		t.Fatal(fail)
+	}
+}
+
+// repeatRepairCrash crashes proc 0 once at line 14 (breaking the queue) and
+// then f-1 more times at line 49 (the end of each repair attempt), forcing
+// f full recoveries within one super-passage.
+type repeatRepairCrash struct {
+	total int
+	done  int
+}
+
+func (c *repeatRepairCrash) ShouldCrash(_ uint64, p sched.Proc) bool {
+	if c.done >= c.total || p.ID() != 0 {
+		return false
+	}
+	pc := p.(sched.PCer).PC()
+	want := PCL49
+	if c.done == 0 {
+		want = PCL14
+	}
+	if pc != want {
+		return false
+	}
+	c.done++
+	return true
+}
+
+func TestSuperPassageRMRLinearInCrashes(t *testing.T) {
+	// Theorem 2's crash half (experiment E3): with f crashes in a
+	// super-passage the total RMR cost is O(f·k): linear in f. We measure
+	// proc 0's RMRs across runs with f forced repair cycles and check rough
+	// linearity (cost(f=8) under ~12x cost(f=1) for fixed k).
+	costs := map[int]uint64{}
+	for _, f := range []int{1, 8} {
+		mem, _, procs := newWorld(t, memsim.DSM, 8, 0)
+		rng := xrand.New(42)
+		policy := &repeatRepairCrash{total: f}
+		r := &sched.Runner{
+			Procs:    asSched(procs),
+			Sched:    sched.Random{Src: rng},
+			Crash:    policy,
+			StopWhen: func() bool { return procs[0].Passages() >= 1 },
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if policy.done != f {
+			t.Fatalf("delivered %d crashes, want %d", policy.done, f)
+		}
+		costs[f] = mem.Stats(0).RMRs
+	}
+	if costs[8] > costs[1]*12 {
+		t.Fatalf("super-passage cost grew superlinearly in f: f=1 -> %d, f=8 -> %d",
+			costs[1], costs[8])
+	}
+	if costs[8] <= costs[1] {
+		t.Fatalf("crash recovery appears free (f=1 -> %d, f=8 -> %d): measurement broken",
+			costs[1], costs[8])
+	}
+}

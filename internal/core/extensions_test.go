@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// Tests beyond the paper's stated claims: behaviours the algorithm
+// additionally provides, documented here as extensions.
+
+// TestSystemWideCrash exercises the system-wide failure model of Golab and
+// Hendler's PODC'18 follow-up (§1.6 of the reproduced paper): *all*
+// processes crash simultaneously. The individual-crash algorithm handles
+// it as a special case — every process recovers independently — so the
+// invariant and progress must survive repeated full-system failures.
+func TestSystemWideCrash(t *testing.T) {
+	for _, ports := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("k%d", ports), func(t *testing.T) {
+			_, sh, procs := newWorld(t, memsim.DSM, ports, 1)
+			ck := NewChecker(sh, procs)
+			rng := xrand.New(uint64(ports) * 271)
+
+			for round := 0; round < 6; round++ {
+				// Run a random schedule for a while...
+				r := &sched.Runner{
+					Procs:    asSched(procs),
+					Sched:    sched.Random{Src: rng.Fork()},
+					MaxSteps: 200 + uint64(rng.Intn(400)),
+				}
+				if err := r.Run(); err != nil {
+					t.Fatal(err)
+				}
+				// ...then the whole system fails at once.
+				for _, p := range procs {
+					p.Crash()
+				}
+				if err := ck.Check(); err != nil {
+					t.Fatalf("round %d, after system-wide crash: %v", round, err)
+				}
+			}
+			// Quiescence: everyone recovers and completes more passages.
+			var fail error
+			r := &sched.Runner{
+				Procs: asSched(procs),
+				Sched: sched.Random{Src: rng.Fork()},
+				OnStep: func(sched.StepEvent) {
+					if fail == nil {
+						fail = ck.Check()
+					}
+				},
+				StopWhen: sched.AllPassagesAtLeast(asSched(procs), 5),
+			}
+			if err := r.Run(); err != nil {
+				t.Fatalf("no recovery after system-wide crashes: %v", err)
+			}
+			if fail != nil {
+				t.Fatal(fail)
+			}
+		})
+	}
+}
+
+// TestFCFSOrderCrashFree verifies the first-come-first-served behaviour the
+// MCS queue structure gives in crash-free runs: processes enter the CS in
+// the order of their FAS on Tail (the doorway step, line 13).
+func TestFCFSOrderCrashFree(t *testing.T) {
+	const k = 6
+	_, _, procs := newWorld(t, memsim.DSM, k, 0)
+	d := sched.NewDriver(asSched(procs)...)
+
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	// Enqueue 1..k-1 in a scrambled but known doorway order.
+	order := []int{3, 1, 5, 2, 4}
+	for _, id := range order {
+		if !d.StepUntilPC(id, PCL14) { // FAS done
+			t.Fatalf("proc %d never performed its FAS", id)
+		}
+	}
+	// Everyone runs; record CS entries.
+	var served []int
+	seen := map[int]bool{0: true}
+	all := []int{0, 1, 2, 3, 4, 5}
+	ok := d.RunConcurrently(all, func() bool {
+		for _, id := range all {
+			if procs[id].Section() == sched.CS && !seen[id] {
+				seen[id] = true
+				served = append(served, id)
+			}
+		}
+		return len(served) == len(order)
+	})
+	if !ok {
+		t.Fatalf("queue did not drain; served %v", served)
+	}
+	for i := range order {
+		if served[i] != order[i] {
+			t.Fatalf("service order %v, want FAS order %v", served, order)
+		}
+	}
+}
+
+// TestBoundedExitAfterCrashDuringExit: a process that crashes mid-Exit and
+// recovers completes the leftover exit within the wait-free bound before
+// its fresh acquisition begins (line 22's bounded completion).
+func TestBoundedExitAfterCrashDuringExit(t *testing.T) {
+	_, sh, procs := newWorld(t, memsim.DSM, 2, 0)
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	if !d.StepUntilPC(0, PCL28) { // Pred = &Exit written, CS signal not yet
+		t.Fatal("no exit start")
+	}
+	d.Crash(0)
+	// The leftover exit (lines 28–29 via line 22) must complete within a
+	// constant number of proc 0's own steps.
+	steps := 0
+	for sh.PeekNodeCell(0) != memsim.NilAddr {
+		d.Step(0, 1)
+		steps++
+		if steps > 12 {
+			t.Fatalf("leftover exit took > 12 steps")
+		}
+	}
+}
+
+// TestQuickRandomSchedulesKeepInvariant is the testing/quick form of the
+// randomized sweep: arbitrary seeds must never produce a violation.
+func TestQuickRandomSchedulesKeepInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		ports := 2 + int(seed%5)
+		mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: ports})
+		sh := NewShared(mem, Config{Ports: ports})
+		procs := make([]*Proc, ports)
+		for i := range procs {
+			procs[i] = NewProc(sh, i, i, int(seed)%3)
+		}
+		ck := NewChecker(sh, procs)
+		rng := xrand.New(seed)
+		var fail error
+		r := &sched.Runner{
+			Procs: asSched(procs),
+			Sched: sched.Random{Src: rng},
+			Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 70, Budget: 12},
+			OnStep: func(sched.StepEvent) {
+				if fail == nil {
+					fail = ck.Check()
+				}
+			},
+			StopWhen: sched.AllPassagesAtLeast(asSched(procs), 3),
+			MaxSteps: 1 << 22,
+		}
+		if err := r.Run(); err != nil {
+			return false
+		}
+		return fail == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRepairersSerialized: many simultaneous crash victims repair
+// one at a time under RLock, and the queue ends well-formed.
+func TestConcurrentRepairersSerialized(t *testing.T) {
+	const k = 8
+	_, sh, procs := newWorld(t, memsim.DSM, k, 0)
+	ck := NewChecker(sh, procs)
+	d := sched.NewDriver(asSched(procs)...)
+
+	// Everyone crashes at line 14 simultaneously-ish.
+	for p := 0; p < k; p++ {
+		if !d.StepUntilPC(p, PCL14) {
+			t.Fatalf("proc %d never reached line 14", p)
+		}
+		d.Crash(p)
+	}
+	// All recover concurrently (interleaved), contending for RLock.
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+	var fail error
+	ok := d.RunConcurrently(all, func() bool {
+		if fail == nil {
+			fail = ck.Check()
+		}
+		for _, p := range procs {
+			if p.Passages() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("not all repairers completed")
+	}
+	if fail != nil {
+		t.Fatal(fail)
+	}
+}
+
+// TestDwellVariationsProperty: the CS dwell must not affect safety.
+func TestDwellVariationsProperty(t *testing.T) {
+	check := func(dwellSeed uint8) bool {
+		dwell := int(dwellSeed % 7)
+		_, sh, procs := newWorld(t, memsim.CC, 3, dwell)
+		ck := NewChecker(sh, procs)
+		var fail error
+		r := &sched.Runner{
+			Procs: asSched(procs),
+			Sched: sched.Random{Src: xrand.New(uint64(dwellSeed))},
+			OnStep: func(sched.StepEvent) {
+				if fail == nil {
+					fail = ck.Check()
+				}
+			},
+			StopWhen: sched.AllPassagesAtLeast(asSched(procs), 4),
+		}
+		return r.Run() == nil && fail == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// TestFigure5Walkthrough reproduces, move for move, the repair illustration
+// of the paper's Figure 5 (Appendix B) and the §3.1 "High level view of
+// repairing the queue after a crash" narrative:
+//
+//   - π1, π3, π5 crash at line 14 (FAS done, Pred not yet written);
+//   - π2, π4, π6 wait at line 25 behind π1, π3, π5 respectively;
+//   - π7, π8 crash at line 13 (node registered, FAS never executed);
+//   - repairs run in the order π1, π7, π5, π8, π3 and must produce exactly
+//     the queue states drawn in the figure:
+//     π1 → SpecialNode and into the CS,
+//     π7 → π2's node,
+//     π5 → π7's node,
+//     π8 FASes itself in behind π6,
+//     π3 FASes π4 in and points at π8's node;
+//   - afterwards the processes enter the CS in queue order
+//     π1, π2, π7, π5, π6, π8, π3, π4.
+//
+// π_i is port/process i-1 (πs are 1-based in the paper).
+func TestFigure5Walkthrough(t *testing.T) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 8})
+	sh := NewShared(mem, Config{Ports: 8})
+	procs := make([]*Proc, 8)
+	for i := range procs {
+		procs[i] = NewProc(sh, i, i, 1)
+	}
+	ck := NewChecker(sh, procs)
+	d := sched.NewDriver(asSched(procs)...)
+
+	const (
+		pi1 = 0
+		pi2 = 1
+		pi3 = 2
+		pi4 = 3
+		pi5 = 4
+		pi6 = 5
+		pi7 = 6
+		pi8 = 7
+	)
+	node := func(pi int) memsim.Addr { return sh.PeekNodeCell(pi) }
+	pred := func(pi int) memsim.Addr { return sh.PeekPred(node(pi)) }
+	mustCheck := func(phase string) {
+		t.Helper()
+		if err := ck.Check(); err != nil {
+			t.Fatalf("%s: invariant: %v", phase, err)
+		}
+	}
+
+	// --- Phase A: manufacture the initial state of Figure 5.
+	for _, pi := range []int{pi1, pi2, pi3, pi4, pi5, pi6} {
+		if pi%2 == 0 { // π1, π3, π5: run to line 14, then crash
+			if !d.StepUntilPC(pi, PCL14) {
+				t.Fatalf("π%d never reached line 14", pi+1)
+			}
+			d.Crash(pi)
+		} else { // π2, π4, π6: run to the line-25 wait
+			if !d.StepUntilPC(pi, PCL25) {
+				t.Fatalf("π%d never reached line 25", pi+1)
+			}
+			d.Step(pi, 8) // enter the spin loop proper
+		}
+	}
+	for _, pi := range []int{pi7, pi8} { // crash at line 13: before the FAS
+		if !d.StepUntilPC(pi, PCL13) {
+			t.Fatalf("π%d never reached line 13", pi+1)
+		}
+		d.Crash(pi)
+	}
+	mustCheck("setup")
+
+	// Initial state of the figure: three two-node fragments plus two
+	// orphans; successors point at their predecessors; crashed nodes have
+	// Pred = NIL (the explosion glyph in the figure).
+	for _, pi := range []int{pi1, pi3, pi5, pi7, pi8} {
+		if got := pred(pi); got != memsim.NilAddr {
+			t.Fatalf("π%d.Pred = %s, want NIL after crash", pi+1, sh.SentinelName(got))
+		}
+	}
+	if pred(pi2) != node(pi1) || pred(pi4) != node(pi3) || pred(pi6) != node(pi5) {
+		t.Fatal("waiter predecessors do not match the figure's initial state")
+	}
+	if sh.PeekTail() != node(pi6) {
+		t.Fatalf("Tail = %s, want π6's node", sh.SentinelName(sh.PeekTail()))
+	}
+
+	// --- Phase B: all five crashed processes restart and park at line 24,
+	// poised to acquire RLock (their Pred is now &Crash, NonNil is set).
+	for _, pi := range []int{pi1, pi7, pi5, pi8, pi3} {
+		if !d.StepUntilPC(pi, PCL24) {
+			t.Fatalf("π%d never reached line 24 after restart", pi+1)
+		}
+		if got := pred(pi); got != sh.CrashNode {
+			t.Fatalf("π%d.Pred = %s, want &Crash", pi+1, sh.SentinelName(got))
+		}
+	}
+	mustCheck("restart")
+
+	// --- Phase C: π1 repairs. No fragment leads to the CS, so π1 adopts
+	// the SpecialNode as predecessor and sails into the CS.
+	if !d.StepUntilSection(pi1, sched.CS) {
+		t.Fatal("π1 did not reach the CS")
+	}
+	if got := pred(pi1); got != sh.InCSNode {
+		t.Fatalf("π1.Pred = %s, want &InCS", sh.SentinelName(got))
+	}
+	mustCheck("π1 repaired")
+
+	// --- Phase D: π7 repairs. The unique head path is (π2 → π1), so π7
+	// attaches to π2's node — without ever performing a FAS.
+	if !d.StepUntilPC(pi7, PCL25) {
+		t.Fatal("π7 did not finish its repair")
+	}
+	if got := pred(pi7); got != node(pi2) {
+		t.Fatalf("π7.Pred = %s, want π2's node", sh.SentinelName(got))
+	}
+	mustCheck("π7 repaired")
+
+	// --- Phase E: π5 repairs and attaches to π7's node.
+	if !d.StepUntilPC(pi5, PCL25) {
+		t.Fatal("π5 did not finish its repair")
+	}
+	if got := pred(pi5); got != node(pi7) {
+		t.Fatalf("π5.Pred = %s, want π7's node", sh.SentinelName(got))
+	}
+	mustCheck("π5 repaired")
+
+	// --- Phase F: π8 repairs. The tail fragment now reaches the CS, so π8
+	// FASes itself in behind π6 (the old tail).
+	if !d.StepUntilPC(pi8, PCL25) {
+		t.Fatal("π8 did not finish its repair")
+	}
+	if got := pred(pi8); got != node(pi6) {
+		t.Fatalf("π8.Pred = %s, want π6's node", sh.SentinelName(got))
+	}
+	if sh.PeekTail() != node(pi8) {
+		t.Fatalf("Tail = %s, want π8's node", sh.SentinelName(sh.PeekTail()))
+	}
+	mustCheck("π8 repaired")
+
+	// --- Phase G: π3 repairs: FASes its fragment's last node (π4) onto the
+	// tail and adopts the previous tail (π8's node) as predecessor.
+	if !d.StepUntilPC(pi3, PCL25) {
+		t.Fatal("π3 did not finish its repair")
+	}
+	if got := pred(pi3); got != node(pi8) {
+		t.Fatalf("π3.Pred = %s, want π8's node", sh.SentinelName(got))
+	}
+	if sh.PeekTail() != node(pi4) {
+		t.Fatalf("Tail = %s, want π4's node", sh.SentinelName(sh.PeekTail()))
+	}
+	mustCheck("π3 repaired")
+
+	// The fully repaired queue: one fragment, tail to head
+	// π4 → π3 → π8 → π6 → π5 → π7 → π2 → π1 (→ &InCS).
+	wantChain := []int{pi4, pi3, pi8, pi6, pi5, pi7, pi2, pi1}
+	cur := sh.PeekTail()
+	for i, pi := range wantChain {
+		if cur != node(pi) {
+			t.Fatalf("chain position %d: got %s, want π%d's node", i, sh.SentinelName(cur), pi+1)
+		}
+		cur = sh.PeekPred(cur)
+	}
+	if cur != sh.InCSNode {
+		t.Fatalf("chain head's Pred = %s, want &InCS", sh.SentinelName(cur))
+	}
+
+	// --- Phase H: everyone runs; CS entries must follow queue order.
+	var order []int
+	inCS := make(map[int]bool)
+	all := []int{pi1, pi2, pi3, pi4, pi5, pi6, pi7, pi8}
+	order = append(order, pi1) // π1 is in the CS already
+	inCS[pi1] = true
+	done := func() bool {
+		for _, p := range procs {
+			if p.Passages() < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	ok := d.RunConcurrently(all, func() bool {
+		for _, pi := range all {
+			if procs[pi].Section() == sched.CS && !inCS[pi] {
+				inCS[pi] = true
+				order = append(order, pi)
+			}
+		}
+		if err := ck.Check(); err != nil {
+			t.Fatalf("final phase: invariant: %v", err)
+		}
+		return done()
+	})
+	if !ok {
+		t.Fatal("not all processes completed a passage")
+	}
+	wantOrder := []int{pi1, pi2, pi7, pi5, pi6, pi8, pi3, pi4}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("CS order = %v, want %v (as π-indices+1: got π%d at slot %d, want π%d)",
+				order, wantOrder, order[i]+1, i, wantOrder[i]+1)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/rmelib/rme/internal/memsim"
+)
+
+// graph is the repairing process's local model of the broken queue
+// (lines 37–38): vertices are QNode addresses, and a directed edge
+// (u → v) records that u.Pred = v was observed during the scan. The
+// structure lives entirely in the process's registers (it is wiped by a
+// crash) and its maximal paths are the queue fragments.
+type graph struct {
+	vertices map[memsim.Addr]struct{}
+	out      map[memsim.Addr]memsim.Addr
+}
+
+func newGraph() graph {
+	return graph{
+		vertices: make(map[memsim.Addr]struct{}),
+		out:      make(map[memsim.Addr]memsim.Addr),
+	}
+}
+
+func (g *graph) addVertex(v memsim.Addr) {
+	g.vertices[v] = struct{}{}
+}
+
+// addEdge records u.Pred = v, adding both endpoints ("we consider this as a
+// simple graph, so repeated addition of a vertex counts as adding it once").
+func (g *graph) addEdge(u, v memsim.Addr) {
+	g.vertices[u] = struct{}{}
+	g.vertices[v] = struct{}{}
+	g.out[u] = v
+}
+
+func (g *graph) hasVertex(v memsim.Addr) bool {
+	_, ok := g.vertices[v]
+	return ok
+}
+
+// size is the local-computation cost driver for line 39 (|V| + |E|).
+func (g *graph) size() int { return len(g.vertices) + len(g.out) }
+
+// path is a maximal path through the fragment graph, ordered from start
+// (tail-most node: no edge points at it) to end (head-most node: it has no
+// outgoing edge; its Pred is a sentinel or an unscanned node).
+type path []memsim.Addr
+
+func (p path) start() memsim.Addr { return p[0] }
+func (p path) end() memsim.Addr   { return p[len(p)-1] }
+
+func (p path) contains(v memsim.Addr) bool {
+	for _, x := range p {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// maximalPaths computes the set Paths of line 39. Iteration order is made
+// deterministic (ascending start address) so simulated runs are exactly
+// reproducible.
+//
+// In the paper's reachable states the graph is a union of disjoint simple
+// paths (Appendix C, Condition 23). The deep-exploration ablation can
+// produce degenerate shapes (shared predecessors, even cycles, which is
+// precisely the Golab–Hendler hazard); the fallback below still terminates
+// and covers every vertex so the ablation can run to completion.
+func (g *graph) maximalPaths() []path {
+	indeg := make(map[memsim.Addr]int, len(g.vertices))
+	for v := range g.vertices {
+		indeg[v] = 0
+	}
+	for _, v := range g.out {
+		indeg[v]++
+	}
+	var starts []memsim.Addr
+	for v := range g.vertices {
+		if indeg[v] == 0 {
+			starts = append(starts, v)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	visited := make(map[memsim.Addr]struct{}, len(g.vertices))
+	var paths []path
+	walk := func(from memsim.Addr) {
+		p := path{from}
+		visited[from] = struct{}{}
+		cur := from
+		for {
+			next, ok := g.out[cur]
+			if !ok {
+				break
+			}
+			if _, seen := visited[next]; seen {
+				break // cycle or join: stop, keeping the path simple
+			}
+			p = append(p, next)
+			visited[next] = struct{}{}
+			cur = next
+		}
+		paths = append(paths, p)
+	}
+	for _, s := range starts {
+		walk(s)
+	}
+	// Fallback for cycles (unreachable from any start): break each at its
+	// smallest-address vertex. Never triggered by the paper's algorithm.
+	if len(visited) != len(g.vertices) {
+		var rest []memsim.Addr
+		for v := range g.vertices {
+			if _, seen := visited[v]; !seen {
+				rest = append(rest, v)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+		for _, v := range rest {
+			if _, seen := visited[v]; !seen {
+				walk(v)
+			}
+		}
+	}
+	return paths
+}

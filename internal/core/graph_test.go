@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func pathsEqual(a, b []path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMaximalPathsShapes(t *testing.T) {
+	tests := []struct {
+		name     string
+		vertices []memsim.Addr
+		edges    [][2]memsim.Addr
+		want     []path
+	}{
+		{
+			name:     "singletons",
+			vertices: []memsim.Addr{5, 3, 9},
+			want:     []path{{3}, {5}, {9}},
+		},
+		{
+			name:  "one chain",
+			edges: [][2]memsim.Addr{{7, 4}, {4, 2}},
+			want:  []path{{7, 4, 2}},
+		},
+		{
+			name:     "two fragments and an orphan",
+			vertices: []memsim.Addr{50},
+			edges:    [][2]memsim.Addr{{10, 9}, {30, 20}, {20, 15}},
+			want:     []path{{10, 9}, {30, 20, 15}, {50}},
+		},
+		{
+			name:  "figure5 initial fragments",
+			edges: [][2]memsim.Addr{{2, 1}, {4, 3}, {6, 5}},
+			want:  []path{{2, 1}, {4, 3}, {6, 5}},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := newGraph()
+			for _, v := range tt.vertices {
+				g.addVertex(v)
+			}
+			for _, e := range tt.edges {
+				g.addEdge(e[0], e[1])
+			}
+			got := g.maximalPaths()
+			if !pathsEqual(got, tt.want) {
+				t.Fatalf("paths = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMaximalPathsCycleFallback(t *testing.T) {
+	// Cycles cannot arise from the paper's algorithm but can from the
+	// deep-exploration ablation under races; the computation must still
+	// terminate and cover every vertex exactly once.
+	g := newGraph()
+	g.addEdge(1, 2)
+	g.addEdge(2, 3)
+	g.addEdge(3, 1)
+	g.addEdge(9, 1) // a tail leading into the cycle
+	paths := g.maximalPaths()
+	seen := map[memsim.Addr]int{}
+	for _, p := range paths {
+		for _, v := range p {
+			seen[v]++
+		}
+	}
+	for _, v := range []memsim.Addr{1, 2, 3, 9} {
+		if seen[v] != 1 {
+			t.Fatalf("vertex %d covered %d times; want exactly once (paths=%v)", v, seen[v], paths)
+		}
+	}
+}
+
+func TestMaximalPathsDeterministic(t *testing.T) {
+	g := newGraph()
+	rng := xrand.New(8)
+	for i := 0; i < 40; i++ {
+		u := memsim.Addr(rng.Intn(100) + 1)
+		v := memsim.Addr(rng.Intn(100) + 1)
+		if u != v {
+			g.addEdge(u, v)
+		}
+	}
+	first := g.maximalPaths()
+	for i := 0; i < 10; i++ {
+		if !pathsEqual(first, g.maximalPaths()) {
+			t.Fatal("maximalPaths is not deterministic")
+		}
+	}
+}
+
+// TestMaximalPathsProperty checks, on random disjoint-path graphs (the only
+// shape the algorithm produces, per invariant C23), that the computed paths
+// partition the vertices and respect the edges.
+func TestMaximalPathsProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := newGraph()
+		// Build random disjoint chains over distinct addresses.
+		next := memsim.Addr(1)
+		type chain []memsim.Addr
+		var chains []chain
+		for c := 0; c < 1+rng.Intn(5); c++ {
+			n := 1 + rng.Intn(5)
+			var ch chain
+			for i := 0; i < n; i++ {
+				ch = append(ch, next)
+				next++
+			}
+			chains = append(chains, ch)
+			if len(ch) == 1 {
+				g.addVertex(ch[0])
+			}
+			for i := 0; i+1 < len(ch); i++ {
+				g.addEdge(ch[i], ch[i+1])
+			}
+		}
+		paths := g.maximalPaths()
+		if len(paths) != len(chains) {
+			return false
+		}
+		covered := map[memsim.Addr]bool{}
+		for _, p := range paths {
+			for i, v := range p {
+				if covered[v] {
+					return false
+				}
+				covered[v] = true
+				if i+1 < len(p) {
+					if g.out[v] != p[i+1] {
+						return false
+					}
+				}
+			}
+		}
+		return len(covered) == int(next-1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathAccessors(t *testing.T) {
+	p := path{10, 20, 30}
+	if p.start() != 10 || p.end() != 30 {
+		t.Fatalf("start/end = %d/%d, want 10/30", p.start(), p.end())
+	}
+	if !p.contains(20) || p.contains(99) {
+		t.Fatal("contains is wrong")
+	}
+}
+
+func TestFragmentsOfSimpleQueue(t *testing.T) {
+	// Build a 3-deep queue by driving processes, then read fragments back.
+	_, sh, procs := newWorld(t, memsim.DSM, 3, 0)
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	d.Step(1, 30)
+	d.Step(2, 30)
+	frags := FragmentsOf(sh)
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1 (%v)", len(frags), frags)
+	}
+	if len(frags[0]) != 3 {
+		t.Fatalf("fragment length = %d, want 3", len(frags[0]))
+	}
+	if frags[0][0] != sh.PeekNodeCell(0) {
+		t.Fatal("fragment head is not the CS holder's node")
+	}
+}

@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/rlock"
+	"github.com/rmelib/rme/internal/sigobj"
+)
+
+// Program counter values. The convention is 10×(paper line number), with
+// +1 suffixes for sub-steps of a line. PCs are exposed via Handle.PC for
+// crash-at-line experiments, and section/P̂C bookkeeping keys off them.
+const (
+	PCIdle = 0
+
+	PCL10  = 100 // read Node[p]
+	PCL11  = 110 // allocate a fresh QNode (local)
+	PCL12  = 120 // Node[p] := mynode
+	PCL13  = 130 // mypred := FAS(Tail, mynode)
+	PCL14  = 140 // mynode.Pred := mypred
+	PCL15  = 150 // mynode.NonNil_Signal.set()   (Setter sub-machine)
+	PCL17  = 170 // mynode := Node[p] (register move; local)
+	PCL18r = 180 // read mynode.Pred (NIL test)
+	PCL18w = 181 // mynode.Pred := &Crash
+	PCL19  = 190 // mypred := mynode.Pred; lines 20–21 branch locally
+	PCL23  = 230 // mynode.NonNil_Signal.set()   (Setter sub-machine)
+	PCL24  = 240 // RLock Try (rlock.Handle sub-machine)
+	PCL30  = 300 // repair needed? (local test of mypred)
+	PCL31  = 310 // tail := Tail; init graph registers
+	PCL33  = 330 // scan loop: cur := Node[i] / loop exit
+	PCL35  = 350 // cur.NonNil_Signal.wait()     (Waiter sub-machine)
+	PCL36  = 360 // curpred := cur.Pred; extend graph (lines 37–38 local)
+	PCDeep = 365 // deep-exploration chase (ablation only)
+	PCL39  = 390 // compute maximal paths, mypath, tailpath (local)
+	PCL43  = 430 // per-path: read end(σ).Pred
+	PCL44  = 440 // per-path: read start(σ).Pred; maybe headpath := σ
+	PCL46  = 460 // tailpath test (reads end(tailpath).Pred if present)
+	PCL47  = 470 // mypred := FAS(Tail, start(mypath))
+	PCL48  = 480 // mypred := start(headpath) or &SpecialNode (local)
+	PCL49  = 490 // mynode.Pred := mypred
+	PCRUnl = 495 // RLock Exit (rlock.Handle sub-machine)
+	PCL25  = 250 // mypred.CS_Signal.wait()      (Waiter sub-machine)
+	PCL26  = 260 // mynode.Pred := &InCS; enter CS
+
+	PCL27 = 270 // mynode.Pred := &Exit
+	PCL28 = 280 // mynode.CS_Signal.set()        (Setter sub-machine)
+	PCL29 = 290 // Node[p] := NIL
+
+	// Exit-recovery entry points (tree composition; not in the paper's
+	// figure, equivalent to re-running lines 10/20–22 without starting a
+	// new passage).
+	pcXRead = 500 // read Node[p]
+	pcXPred = 510 // read Pred, dispatch to 27/28/done
+)
+
+// Handle runs the Try (lines 10–26) and Exit (lines 27–29) sections of
+// Figures 3–4 for one port. All fields are the process's volatile
+// registers: Crash wipes them, and recovery reconstructs everything from
+// NVRAM, exactly as the paper prescribes.
+type Handle struct {
+	sh   *Shared
+	proc int
+	port int
+
+	pc   int
+	phat int // the hidden variable P̂C of Figures 6–7
+
+	// Registers of Figure 3/4 (⊥ = 0 after a crash).
+	mynode  memsim.Addr
+	mypred  memsim.Addr
+	nodeVal memsim.Addr // value read at line 10, consumed by line 17
+	after22 bool        // executing lines 28–29 on behalf of line 22
+
+	// Repair registers (lines 31–48).
+	tail     memsim.Addr
+	scanIdx  int
+	cur      memsim.Addr
+	curpred  memsim.Addr
+	chase    memsim.Addr // deep-exploration cursor (ablation)
+	chaseLen int
+	graph    graph
+	paths    []path
+	pathIdx  int
+	mypath   path
+	tailpath path
+	headpath path
+
+	// Sub-machines (volatile like other registers).
+	setter sigobj.Setter
+	waiter sigobj.Waiter
+	rl     *rlock.Handle
+}
+
+// NewHandle creates the step machine for proc using port p of sh.
+func NewHandle(sh *Shared, proc, port int) *Handle {
+	if port < 0 || port >= sh.cfg.Ports {
+		panic(fmt.Sprintf("core: port %d out of range [0,%d)", port, sh.cfg.Ports))
+	}
+	return &Handle{
+		sh:     sh,
+		proc:   proc,
+		port:   port,
+		phat:   11, // initial P̂C (Appendix C base case)
+		setter: sigobj.NewSetter(sh.mem, proc),
+		waiter: sigobj.NewWaiter(sh.mem, proc),
+		rl:     rlock.NewHandle(sh.RLock, proc, port),
+	}
+}
+
+// PC exposes the program counter (paper line × 10).
+func (h *Handle) PC() int { return h.pc }
+
+// PHat exposes the hidden variable P̂C for the invariant checker.
+func (h *Handle) PHat() int { return h.phat }
+
+// Port returns the handle's port.
+func (h *Handle) Port() int { return h.port }
+
+// Done reports that no operation is in flight.
+func (h *Handle) Done() bool { return h.pc == PCIdle }
+
+// InCS reports whether the process currently owns the critical section
+// (hidden-variable definition: P̂C = 27).
+func (h *Handle) InCS() bool { return h.phat == 27 }
+
+// MyNode returns the mynode register (checkers only).
+func (h *Handle) MyNode() memsim.Addr { return h.mynode }
+
+// ScanIndex returns the repair scan's loop index i (scripted tests).
+func (h *Handle) ScanIndex() int { return h.scanIdx }
+
+// BeginLock starts the Try section at line 10. It is also the crash
+// recovery entry point: the code itself discovers whether the previous
+// passage crashed and where.
+func (h *Handle) BeginLock() {
+	if h.pc != PCIdle {
+		panic("core: BeginLock while an operation is in flight")
+	}
+	h.pc = PCL10
+}
+
+// BeginUnlock starts the Exit section at line 27. Valid only in the CS.
+func (h *Handle) BeginUnlock() {
+	if h.pc != PCIdle {
+		panic("core: BeginUnlock while an operation is in flight")
+	}
+	if h.phat != 27 {
+		panic(fmt.Sprintf("core: BeginUnlock outside the CS (P̂C=%d)", h.phat))
+	}
+	h.pc = PCL27
+}
+
+// BeginExitRecover starts completion of a possibly interrupted Exit without
+// starting a new passage: used by the arbitration tree's downward release
+// replay. It is idempotent (a completed exit is detected and skipped).
+func (h *Handle) BeginExitRecover() {
+	if h.pc != PCIdle {
+		panic("core: BeginExitRecover while an operation is in flight")
+	}
+	h.pc = pcXRead
+}
+
+// Crash is the crash step: all registers (including sub-machines) are reset
+// to ⊥; NVRAM and P̂C (a proof artifact, not a register) survive.
+func (h *Handle) Crash() {
+	h.pc = PCIdle
+	h.mynode, h.mypred, h.nodeVal = 0, 0, 0
+	h.after22 = false
+	h.tail, h.cur, h.curpred, h.chase = 0, 0, 0, 0
+	h.scanIdx, h.chaseLen, h.pathIdx = 0, 0, 0
+	h.graph = graph{}
+	h.paths, h.mypath, h.tailpath, h.headpath = nil, nil, nil, nil
+	h.setter.Crash()
+	h.waiter.Crash()
+	h.rl.Crash()
+}
+
+// node field helpers.
+func (h *Handle) predOf(n memsim.Addr) memsim.Addr { return n + OffPred }
+
+// Step executes one atomic step. It returns true when the operation begun
+// by BeginLock (CS acquired), BeginUnlock, or BeginExitRecover completes.
+func (h *Handle) Step() bool {
+	mem, sh := h.sh.mem, h.sh
+	switch h.pc {
+	case PCIdle:
+		return true
+
+	// ------------------------------------------------------ Try section
+	case PCL10:
+		h.nodeVal = memsim.Addr(mem.Read(h.proc, sh.nodeCell(h.port)))
+		if h.nodeVal == memsim.NilAddr {
+			h.pc = PCL11
+		} else {
+			h.pc = PCL17
+		}
+
+	case PCL11:
+		// new QNode: allocated in the creating process's partition; zeroed
+		// words are exactly the required initial state (Pred = NIL,
+		// signals unset).
+		h.mynode = mem.Alloc(h.proc, NodeWords)
+		sh.registerNode(h.mynode)
+		mem.LocalStep(h.proc)
+		h.phat = 12
+		h.pc = PCL12
+
+	case PCL12:
+		mem.Write(h.proc, sh.nodeCell(h.port), memsim.Word(h.mynode))
+		h.phat = 13
+		h.pc = PCL13
+
+	case PCL13:
+		h.mypred = memsim.Addr(mem.FAS(h.proc, sh.Tail, memsim.Word(h.mynode)))
+		h.phat = 14
+		h.pc = PCL14
+
+	case PCL14:
+		mem.Write(h.proc, h.predOf(h.mynode), memsim.Word(h.mypred))
+		h.phat = 15
+		h.setter.Begin(h.mynode + OffNonNil)
+		h.pc = PCL15
+
+	case PCL15:
+		if h.setter.Step() {
+			h.phat = 25
+			h.waiter.Begin(h.mypred + OffCS)
+			h.pc = PCL25
+		}
+
+	case PCL17:
+		h.mynode = h.nodeVal
+		mem.LocalStep(h.proc)
+		h.pc = PCL18r
+
+	case PCL18r:
+		if memsim.Addr(mem.Read(h.proc, h.predOf(h.mynode))) == memsim.NilAddr {
+			h.pc = PCL18w
+		} else {
+			h.pc = PCL19
+		}
+
+	case PCL18w:
+		mem.Write(h.proc, h.predOf(h.mynode), memsim.Word(sh.CrashNode))
+		h.pc = PCL19
+
+	case PCL19:
+		h.mypred = memsim.Addr(mem.Read(h.proc, h.predOf(h.mynode)))
+		switch h.mypred {
+		case sh.InCSNode: // line 20: crashed inside the CS — re-enter it
+			h.pc = PCIdle
+			return true
+		case sh.ExitNode: // line 21–22: finish lines 28–29, then line 10
+			h.after22 = true
+			h.setter.Begin(h.mynode + OffCS)
+			h.phat = 28
+			h.pc = PCL28
+		default: // line 23
+			h.setter.Begin(h.mynode + OffNonNil)
+			h.pc = PCL23
+		}
+
+	case PCL23:
+		if h.setter.Step() {
+			h.rl.BeginLock()
+			h.pc = PCL24
+		}
+
+	case PCL24:
+		if h.rl.Step() {
+			h.pc = PCL30
+		}
+
+	// -------------------------------------------- Critical section of RLock
+	case PCL30:
+		mem.LocalStep(h.proc)
+		if h.mypred != sh.CrashNode {
+			// Already queued before the last crash: no repair needed.
+			h.phat = 25
+			h.rl.BeginUnlock()
+			h.pc = PCRUnl
+		} else {
+			h.pc = PCL31
+		}
+
+	case PCL31:
+		h.tail = memsim.Addr(mem.Read(h.proc, sh.Tail))
+		h.graph = newGraph()
+		h.paths, h.mypath, h.tailpath, h.headpath = nil, nil, nil, nil
+		h.scanIdx = 0
+		h.pathIdx = 0
+		h.pc = PCL33
+
+	case PCL33:
+		if h.scanIdx >= sh.cfg.Ports {
+			h.pc = PCL39
+			break
+		}
+		h.cur = memsim.Addr(mem.Read(h.proc, sh.NodeTab+memsim.Addr(h.scanIdx)))
+		if h.cur == memsim.NilAddr { // line 34
+			h.scanIdx++
+			break // continue: next loop iteration re-enters PCL33
+		}
+		h.waiter.Begin(h.cur + OffNonNil)
+		h.pc = PCL35
+
+	case PCL35:
+		if h.waiter.Step() {
+			h.pc = PCL36
+		}
+
+	case PCL36:
+		h.curpred = memsim.Addr(mem.Read(h.proc, h.predOf(h.cur)))
+		// Lines 37–38: extend the graph (local computation).
+		if sh.IsSentinel(h.curpred) {
+			h.graph.addVertex(h.cur)
+		} else {
+			h.graph.addEdge(h.cur, h.curpred)
+		}
+		mem.LocalStep(h.proc)
+		if sh.cfg.DeepExploration && !sh.IsSentinel(h.curpred) {
+			// Ablation: Golab–Hendler-style deep chase of the Pred chain.
+			h.chase = h.curpred
+			h.chaseLen = 0
+			h.pc = PCDeep
+		} else {
+			h.scanIdx++
+			h.pc = PCL33
+		}
+
+	case PCDeep:
+		// Visit chase's predecessor, add it to the graph, and continue
+		// until the chain bottoms out in a sentinel (or a NIL Pred of a
+		// node whose owner has not yet linked it, which ends the chain
+		// too). This is O(k) extra shared reads per scanned node: O(k²)
+		// per repair, the cost the paper's shallow exploration removes.
+		pred := memsim.Addr(mem.Read(h.proc, h.predOf(h.chase)))
+		h.chaseLen++
+		if sh.IsSentinel(pred) || pred == memsim.NilAddr || h.chaseLen > sh.cfg.Ports+1 {
+			h.scanIdx++
+			h.pc = PCL33
+			break
+		}
+		h.graph.addEdge(h.chase, pred)
+		mem.LocalStep(h.proc)
+		h.chase = pred
+
+	case PCL39:
+		// Lines 39–41: maximal paths, mypath, tailpath. Local computation,
+		// charged proportionally to the graph size.
+		h.paths = h.graph.maximalPaths()
+		mem.LocalSteps(h.proc, h.graph.size())
+		h.mypath = nil
+		for _, p := range h.paths {
+			if p.contains(h.mynode) {
+				h.mypath = p
+				break
+			}
+		}
+		if h.mypath == nil {
+			panic(fmt.Sprintf("core: port %d: mynode %d not in any maximal path (invariant broken)", h.port, h.mynode))
+		}
+		h.tailpath = nil
+		if h.graph.hasVertex(h.tail) {
+			for _, p := range h.paths {
+				if p.contains(h.tail) {
+					h.tailpath = p
+					break
+				}
+			}
+		}
+		h.headpath = nil
+		h.pathIdx = 0
+		h.pc = PCL43
+
+	case PCL43:
+		if h.pathIdx >= len(h.paths) {
+			h.pc = PCL46
+			break
+		}
+		sigma := h.paths[h.pathIdx]
+		endPred := memsim.Addr(mem.Read(h.proc, h.predOf(sigma.end())))
+		if endPred == sh.InCSNode || endPred == sh.ExitNode {
+			h.pc = PCL44
+		} else {
+			h.pathIdx++
+		}
+
+	case PCL44:
+		sigma := h.paths[h.pathIdx]
+		startPred := memsim.Addr(mem.Read(h.proc, h.predOf(sigma.start())))
+		if startPred != sh.ExitNode {
+			h.headpath = sigma // line 45
+		}
+		h.pathIdx++
+		h.pc = PCL43
+
+	case PCL46:
+		if h.tailpath == nil {
+			mem.LocalStep(h.proc)
+			h.pc = PCL47
+			break
+		}
+		endPred := memsim.Addr(mem.Read(h.proc, h.predOf(h.tailpath.end())))
+		if endPred == sh.InCSNode || endPred == sh.ExitNode {
+			h.pc = PCL47
+		} else {
+			h.pc = PCL48
+		}
+
+	case PCL47:
+		h.mypred = memsim.Addr(mem.FAS(h.proc, sh.Tail, memsim.Word(h.mypath.start())))
+		h.phat = 14
+		h.pc = PCL49
+
+	case PCL48:
+		if h.headpath != nil {
+			h.mypred = h.headpath.start()
+		} else {
+			h.mypred = sh.SpecialNode
+		}
+		mem.LocalStep(h.proc)
+		h.phat = 14
+		h.pc = PCL49
+
+	case PCL49:
+		mem.Write(h.proc, h.predOf(h.mynode), memsim.Word(h.mypred))
+		h.phat = 25
+		h.rl.BeginUnlock()
+		h.pc = PCRUnl
+
+	case PCRUnl:
+		if h.rl.Step() {
+			h.waiter.Begin(h.mypred + OffCS)
+			h.pc = PCL25
+		}
+
+	// ------------------------------------------------- back in plain Try
+	case PCL25:
+		if h.waiter.Step() {
+			h.phat = 26
+			h.pc = PCL26
+		}
+
+	case PCL26:
+		mem.Write(h.proc, h.predOf(h.mynode), memsim.Word(sh.InCSNode))
+		h.phat = 27
+		h.pc = PCIdle
+		return true
+
+	// ------------------------------------------------------ Exit section
+	case PCL27:
+		mem.Write(h.proc, h.predOf(h.mynode), memsim.Word(sh.ExitNode))
+		h.phat = 28
+		h.setter.Begin(h.mynode + OffCS)
+		h.pc = PCL28
+
+	case PCL28:
+		if h.setter.Step() {
+			h.phat = 29
+			h.pc = PCL29
+		}
+
+	case PCL29:
+		mem.Write(h.proc, sh.nodeCell(h.port), memsim.Word(memsim.NilAddr))
+		h.phat = 11
+		if h.after22 {
+			// Line 22: ... and go to Line 10 (same Try continues).
+			h.after22 = false
+			h.pc = PCL10
+		} else {
+			h.pc = PCIdle
+			return true
+		}
+
+	// ------------------------------------------- exit recovery (tree use)
+	case pcXRead:
+		h.nodeVal = memsim.Addr(mem.Read(h.proc, sh.nodeCell(h.port)))
+		if h.nodeVal == memsim.NilAddr {
+			h.pc = PCIdle
+			return true
+		}
+		h.mynode = h.nodeVal
+		h.pc = pcXPred
+
+	case pcXPred:
+		switch memsim.Addr(mem.Read(h.proc, h.predOf(h.mynode))) {
+		case sh.InCSNode:
+			h.pc = PCL27
+		case sh.ExitNode:
+			h.setter.Begin(h.mynode + OffCS)
+			h.phat = 28
+			h.pc = PCL28
+		default:
+			panic("core: exit recovery on a node that never reached the CS")
+		}
+
+	default:
+		panic(fmt.Sprintf("core: corrupt pc %d", h.pc))
+	}
+	return h.pc == PCIdle
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+)
+
+// This file implements an executable subset of the paper's Appendix C
+// invariant (Figures 8–14). The proof maintains hidden variables (P̂C,
+// n̂ode); our machines track P̂C directly (Handle.PHat), so the conditions
+// below can be evaluated in every configuration of a simulated run. The
+// checker is wired into randomized and scripted tests: a single violated
+// condition fails the run with a description of the offending state.
+//
+// Implemented conditions (numbering from the paper):
+//
+//	C1  — correspondence between P̂C and n̂ode.Pred / Node[p̂ort];
+//	C2  — register consistency: mynode = Node[p̂ort] in lines 13–48;
+//	C4  — node distinctness, predecessor distinctness, bounded chains;
+//	C5  — Signal-state consistency per QNode (with the line-18/23 and
+//	      line-27/28 windows the running algorithm actually exhibits);
+//	C7  — at most one fragment head carries &InCS;
+//	C16 — Tail points at a real node that is the tail of its fragment;
+//	ME  — at most one process has P̂C = 27 (Lemma 4).
+
+// nodesRegistry records every QNode ever created, mirroring the paper's
+// hidden set N. It lives on Shared (NVRAM-side bookkeeping for checkers,
+// invisible to the algorithm).
+func (s *Shared) registerNode(a memsim.Addr) {
+	s.allNodes = append(s.allNodes, a)
+}
+
+// AllNodes returns every QNode created so far plus the SpecialNode (the
+// paper's N). The slice is shared; callers must not mutate it.
+func (s *Shared) AllNodes() []memsim.Addr {
+	return append([]memsim.Addr{s.SpecialNode}, s.allNodes...)
+}
+
+// Checker evaluates the invariant subset over one lock instance and its
+// client handles.
+type Checker struct {
+	sh      *Shared
+	handles []*Handle
+}
+
+// NewChecker builds a checker over client processes of sh.
+func NewChecker(sh *Shared, procs []*Proc) *Checker {
+	handles := make([]*Handle, len(procs))
+	for i, p := range procs {
+		handles[i] = p.h
+	}
+	return &Checker{sh: sh, handles: handles}
+}
+
+// NewHandleChecker builds a checker over raw handles (used by the
+// arbitration tree, whose per-node clients are Handles, not Procs).
+func NewHandleChecker(sh *Shared, handles []*Handle) *Checker {
+	return &Checker{sh: sh, handles: handles}
+}
+
+// nhat returns the paper's hidden variable n̂ode for h (NIL when the
+// process has no current node).
+func (c *Checker) nhat(h *Handle) memsim.Addr {
+	switch {
+	case h.phat >= 13 && h.phat <= 15, h.phat >= 25 && h.phat <= 29:
+		return c.sh.PeekNodeCell(h.port)
+	case h.pc == PCL12:
+		return h.mynode
+	default:
+		return memsim.NilAddr
+	}
+}
+
+// dormant reports that h is between super-passages: no operation in flight
+// and P̂C back at its initial value. In the arbitration tree several
+// processes own handles on the same port (their use is serialized by the
+// levels below); dormant handles are not the port's current user and are
+// excluded from the per-port conditions.
+func (h *Handle) dormant() bool { return h.pc == PCIdle && h.phat == 11 }
+
+// active returns the handles currently using each port. It is an invariant
+// of its own (checked here) that each port has at most one non-dormant
+// handle.
+func (c *Checker) active() (map[int]*Handle, error) {
+	act := make(map[int]*Handle)
+	for _, h := range c.handles {
+		if h.dormant() {
+			continue
+		}
+		if prev, dup := act[h.port]; dup {
+			return nil, fmt.Errorf("port exclusivity violated: two live handles on port %d (P̂C %d and %d)",
+				h.port, prev.phat, h.phat)
+		}
+		act[h.port] = h
+	}
+	return act, nil
+}
+
+// Check evaluates all implemented conditions, returning the first
+// violation.
+func (c *Checker) Check() error {
+	act, err := c.active()
+	if err != nil {
+		return err
+	}
+	if err := c.checkME(); err != nil {
+		return err
+	}
+	if err := c.checkC1(act); err != nil {
+		return err
+	}
+	if err := c.checkC2(act); err != nil {
+		return err
+	}
+	if err := c.checkC4(); err != nil {
+		return err
+	}
+	if err := c.checkC5(); err != nil {
+		return err
+	}
+	if err := c.checkC7(); err != nil {
+		return err
+	}
+	return c.checkC16()
+}
+
+func (c *Checker) checkME() error {
+	holders := 0
+	for _, h := range c.handles {
+		if h.phat == 27 {
+			holders++
+		}
+	}
+	if holders > 1 {
+		return fmt.Errorf("ME violated: %d processes have P̂C=27", holders)
+	}
+	return nil
+}
+
+func (c *Checker) checkC1(act map[int]*Handle) error {
+	sh := c.sh
+	for port := 0; port < sh.cfg.Ports; port++ {
+		h := act[port]
+		cell := sh.PeekNodeCell(port)
+		if h == nil {
+			// No live user: the paper's P̂C ∈ {11} case.
+			if cell != memsim.NilAddr {
+				return fmt.Errorf("C1: port %d has no live user but Node[%d]=%d", port, port, cell)
+			}
+			continue
+		}
+		phat := h.phat
+		switch {
+		case phat == 11 || phat == 12:
+			if cell != memsim.NilAddr {
+				return fmt.Errorf("C1: port %d P̂C=%d but Node[%d]=%d", h.port, phat, h.port, cell)
+			}
+		case cell == memsim.NilAddr:
+			return fmt.Errorf("C1: port %d P̂C=%d but Node[%d]=NIL", h.port, phat, h.port)
+		case phat == 13 || phat == 14:
+			pred := sh.PeekPred(cell)
+			if pred != memsim.NilAddr && pred != sh.CrashNode {
+				return fmt.Errorf("C1: port %d P̂C=%d but Pred=%s", h.port, phat, sh.SentinelName(pred))
+			}
+		case phat == 15 || phat == 25 || phat == 26:
+			pred := sh.PeekPred(cell)
+			if pred == memsim.NilAddr || sh.IsSentinel(pred) {
+				return fmt.Errorf("C1: port %d P̂C=%d but Pred=%s (want a queue node)", h.port, phat, sh.SentinelName(pred))
+			}
+		case phat == 27:
+			if pred := sh.PeekPred(cell); pred != sh.InCSNode {
+				return fmt.Errorf("C1: port %d P̂C=27 but Pred=%s", h.port, sh.SentinelName(pred))
+			}
+		case phat == 28 || phat == 29:
+			if pred := sh.PeekPred(cell); pred != sh.ExitNode {
+				return fmt.Errorf("C1: port %d P̂C=%d but Pred=%s", h.port, phat, sh.SentinelName(pred))
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkC2(act map[int]*Handle) error {
+	for _, h := range act {
+		line := h.pc / 10
+		// Paper C2 range: PC ∈ [13,15] ∪ [18,29] ∪ [30,48]; our PC space
+		// folds the RLock exit at 495 (line 49) into the same range.
+		inRange := (line >= 13 && line <= 15) || (line >= 18 && line <= 49)
+		if !inRange || h.mynode == memsim.NilAddr {
+			continue
+		}
+		if cell := c.sh.PeekNodeCell(h.port); cell != h.mynode {
+			return fmt.Errorf("C2: port %d at pc %d has mynode=%d but Node[%d]=%d",
+				h.port, h.pc, h.mynode, h.port, cell)
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkC4() error {
+	sh := c.sh
+	// Distinct current nodes.
+	seen := make(map[memsim.Addr]int)
+	for _, h := range c.handles {
+		n := c.nhat(h)
+		if n == memsim.NilAddr {
+			continue
+		}
+		if prev, dup := seen[n]; dup {
+			return fmt.Errorf("C4: ports %d and %d share n̂ode %d", prev, h.port, n)
+		}
+		seen[n] = h.port
+	}
+	// Distinct predecessors unless NIL/&Crash/&Exit.
+	preds := make(map[memsim.Addr]int)
+	for _, h := range c.handles {
+		n := c.nhat(h)
+		if n == memsim.NilAddr {
+			continue
+		}
+		pred := sh.PeekPred(n)
+		if pred == memsim.NilAddr || pred == sh.CrashNode || pred == sh.ExitNode {
+			continue
+		}
+		if prev, dup := preds[pred]; dup {
+			return fmt.Errorf("C4: ports %d and %d share predecessor %s (the Golab–Hendler Scenario 2 failure shape)",
+				prev, h.port, sh.SentinelName(pred))
+		}
+		preds[pred] = h.port
+	}
+	// Bounded chains: following Pred from any current node reaches a
+	// sentinel or NIL within k+2 hops (no cycles, no runaway fragments).
+	for _, h := range c.handles {
+		n := c.nhat(h)
+		if n == memsim.NilAddr {
+			continue
+		}
+		cur := n
+		for hop := 0; ; hop++ {
+			if hop > sh.cfg.Ports+2 {
+				return fmt.Errorf("C4: Pred chain from port %d's node exceeds %d hops (cycle?)", h.port, sh.cfg.Ports+2)
+			}
+			pred := sh.PeekPred(cur)
+			if pred == memsim.NilAddr || sh.IsSentinel(pred) {
+				break
+			}
+			cur = pred
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkC5() error {
+	sh := c.sh
+	// Map each current node to its owner's P̂C for the windowed clauses.
+	ownerPhat := make(map[memsim.Addr]int)
+	for _, h := range c.handles {
+		if n := c.nhat(h); n != memsim.NilAddr {
+			ownerPhat[n] = h.phat
+		}
+	}
+	for _, n := range sh.AllNodes() {
+		pred := sh.PeekPred(n)
+		nonNil := sh.mem.Peek(n+OffNonNil) != 0
+		cs := sh.mem.Peek(n+OffCS) != 0
+		if cs && pred != sh.ExitNode {
+			return fmt.Errorf("C5: node %d has CS_Signal=1 but Pred=%s", n, sh.SentinelName(pred))
+		}
+		if nonNil && pred == memsim.NilAddr {
+			return fmt.Errorf("C5: node %d has NonNil_Signal=1 but Pred=NIL", n)
+		}
+		if !nonNil && pred != memsim.NilAddr && pred != sh.CrashNode {
+			// One legal window: line 14 has written Pred but line 15's
+			// set() has not completed, i.e. the owner's P̂C is 15.
+			if ownerPhat[n] != 15 {
+				return fmt.Errorf("C5: node %d has NonNil_Signal=0 but Pred=%s (owner P̂C=%d)",
+					n, sh.SentinelName(pred), ownerPhat[n])
+			}
+		}
+		if !cs && pred == sh.ExitNode {
+			// Only legal in the line 27→28 window, i.e. its owner has
+			// P̂C=28, or the node is abandoned mid-exit by a crash (its
+			// owner will re-enter and complete lines 28–29; the cell is
+			// still set, so the owner's P̂C is 28 after line 27).
+			if ownerPhat[n] != 28 {
+				return fmt.Errorf("C5: node %d has CS_Signal=0, Pred=&Exit, owner P̂C=%d (want 28)", n, ownerPhat[n])
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Checker) checkC7() error {
+	sh := c.sh
+	// Distinct fragment heads whose Pred is &InCS: processes in the same
+	// fragment share a head, so heads are deduplicated by node address.
+	headsInCS := make(map[memsim.Addr]struct{})
+	for _, h := range c.handles {
+		n := c.nhat(h)
+		if n == memsim.NilAddr {
+			continue
+		}
+		// Head of p's fragment: follow Pred until a sentinel or NIL.
+		cur := n
+		for hop := 0; hop <= sh.cfg.Ports+2; hop++ {
+			pred := sh.PeekPred(cur)
+			if pred == memsim.NilAddr || sh.IsSentinel(pred) {
+				if pred == sh.InCSNode {
+					headsInCS[cur] = struct{}{}
+				}
+				break
+			}
+			cur = pred
+		}
+	}
+	if len(headsInCS) > 1 {
+		return fmt.Errorf("C7: %d distinct fragment heads have Pred=&InCS", len(headsInCS))
+	}
+	return nil
+}
+
+func (c *Checker) checkC16() error {
+	sh := c.sh
+	tail := sh.PeekTail()
+	if tail == memsim.NilAddr || sh.IsSentinel(tail) {
+		return fmt.Errorf("C16: Tail=%s is not a queue node", sh.SentinelName(tail))
+	}
+	// Tail = tail(fragment(Tail)): no in-flight node's Pred names it.
+	for q := 0; q < sh.cfg.Ports; q++ {
+		cell := sh.PeekNodeCell(q)
+		if cell == memsim.NilAddr || cell == tail {
+			continue
+		}
+		if sh.PeekPred(cell) == tail {
+			return fmt.Errorf("C16: Node[%d].Pred = Tail (%d); Tail is not the tail of its fragment", q, tail)
+		}
+	}
+	return nil
+}
+
+// Fragments reconstructs the queue fragments over the in-flight nodes (the
+// Node table) for renderers and tests: each fragment is ordered head → tail
+// (head's Pred is a sentinel or NIL).
+func (c *Checker) Fragments() [][]memsim.Addr {
+	return FragmentsOf(c.sh)
+}
+
+// FragmentsOf computes the fragments of sh's queue from the port table.
+// Exported for the Figure 5 renderer (cmd/rmetrace) and tests.
+func FragmentsOf(sh *Shared) [][]memsim.Addr {
+	// successors: pred node -> the in-flight node pointing at it.
+	succ := make(map[memsim.Addr]memsim.Addr)
+	inflight := make(map[memsim.Addr]bool)
+	for q := 0; q < sh.cfg.Ports; q++ {
+		if cell := sh.PeekNodeCell(q); cell != memsim.NilAddr {
+			inflight[cell] = true
+		}
+	}
+	for n := range inflight {
+		pred := sh.PeekPred(n)
+		if pred != memsim.NilAddr && !sh.IsSentinel(pred) {
+			succ[pred] = n
+		}
+	}
+	// Heads: in-flight nodes whose Pred is sentinel/NIL, or whose Pred is a
+	// node that is not in-flight (an abandoned completed node).
+	var frags [][]memsim.Addr
+	for q := 0; q < sh.cfg.Ports; q++ {
+		n := sh.PeekNodeCell(q)
+		if n == memsim.NilAddr {
+			continue
+		}
+		pred := sh.PeekPred(n)
+		isHead := pred == memsim.NilAddr || sh.IsSentinel(pred) || !inflight[pred]
+		if !isHead {
+			continue
+		}
+		frag := []memsim.Addr{n}
+		cur := n
+		for {
+			next, ok := succ[cur]
+			if !ok {
+				break
+			}
+			frag = append(frag, next)
+			cur = next
+		}
+		frags = append(frags, frag)
+	}
+	return frags
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// Client program counters (outer RME cycle around a Handle).
+const (
+	clientRemainder = iota
+	clientLocking
+	clientCS
+	clientUnlocking
+)
+
+// Proc is a sched.Proc cycling Remainder → Try → CS → Exit through one
+// Handle. The CS dwell is a configurable number of local steps.
+type Proc struct {
+	id    int
+	mem   *memsim.Memory
+	h     *Handle
+	cpc   int
+	dwell int
+	left  int
+
+	passages uint64
+}
+
+// NewProc builds a client for process id on port port of sh.
+func NewProc(sh *Shared, id, port, dwell int) *Proc {
+	return &Proc{id: id, mem: sh.mem, h: NewHandle(sh, id, port), dwell: dwell}
+}
+
+// ID implements sched.Proc.
+func (p *Proc) ID() int { return p.id }
+
+// Handle exposes the underlying step machine (tests, checkers).
+func (p *Proc) Handle() *Handle { return p.h }
+
+// PC implements sched.PCer: the handle's PC while an operation is in
+// flight, a negative client code otherwise.
+func (p *Proc) PC() int {
+	switch p.cpc {
+	case clientLocking, clientUnlocking:
+		return p.h.PC()
+	default:
+		return -1 - p.cpc
+	}
+}
+
+// Section implements sched.Proc. The CS is entered the moment the Try
+// completes, which coincides with P̂C = 27 (the paper's definition).
+func (p *Proc) Section() sched.Section {
+	switch p.cpc {
+	case clientRemainder:
+		return sched.Remainder
+	case clientLocking:
+		return sched.Try
+	case clientCS:
+		return sched.CS
+	default:
+		return sched.Exit
+	}
+}
+
+// Passages implements sched.Proc.
+func (p *Proc) Passages() uint64 { return p.passages }
+
+// Step implements sched.Proc.
+func (p *Proc) Step() {
+	switch p.cpc {
+	case clientRemainder:
+		p.h.BeginLock()
+		p.mem.LocalStep(p.id)
+		p.cpc = clientLocking
+	case clientLocking:
+		if p.h.Step() {
+			p.cpc = clientCS
+			p.left = p.dwell
+		}
+	case clientCS:
+		if p.left > 0 {
+			p.left--
+			p.mem.LocalStep(p.id)
+			return
+		}
+		p.h.BeginUnlock()
+		p.mem.LocalStep(p.id)
+		p.cpc = clientUnlocking
+	case clientUnlocking:
+		if p.h.Step() {
+			p.passages++
+			p.cpc = clientRemainder
+		}
+	}
+}
+
+// Crash implements sched.Proc: registers are wiped and the process restarts
+// from Remainder; its next normal step re-enters the Try section, which
+// performs the paper's recovery.
+func (p *Proc) Crash() {
+	p.h.Crash()
+	p.cpc = clientRemainder
+	p.left = 0
+	p.mem.CrashProcess(p.id)
+}

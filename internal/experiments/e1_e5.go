@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/sigobj"
+	"github.com/rmelib/rme/internal/table"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// E1Signal measures set()/wait() RMR costs on both machine models, with the
+// waiter forced through ever longer busy-waits: the spin must be free
+// (Theorem 1(v): O(1) RMRs per operation regardless of waiting time).
+func E1Signal() *Result {
+	res := &Result{ID: "E1", Title: "Signal object: RMRs per operation vs. spin length"}
+	tb := table.New("RMRs per set()/wait() (spin iterations before the set arrives)",
+		"model", "spin iters", "setter RMRs", "waiter RMRs")
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for _, spins := range []int{0, 10, 1000, 100000} {
+			mem := memsim.New(memsim.Config{Model: model, Procs: 2})
+			sig := sigobj.Alloc(mem, 0)
+
+			w := sigobj.NewWaiter(mem, 1)
+			w.Begin(sig)
+			for i := 0; i < 6+spins; i++ {
+				if w.Step() {
+					break
+				}
+			}
+			s := sigobj.NewSetter(mem, 0)
+			s.Begin(sig)
+			for !s.Step() {
+			}
+			for !w.Step() {
+			}
+			tb.AddF(model.String(), spins, mem.Stats(0).RMRs, mem.Stats(1).RMRs)
+			if mem.Stats(1).RMRs > 6 {
+				res.Err = fmt.Errorf("waiter RMRs grew with spin length: %d", mem.Stats(1).RMRs)
+			}
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.note("expected shape: both columns constant in the spin length (Theorem 1(v))")
+	return res
+}
+
+// E2PassageRMR measures crash-free RMRs per passage of the flat k-ported
+// algorithm as k grows: Theorem 2 says O(1), so the series must be flat.
+func E2PassageRMR() *Result {
+	res := &Result{ID: "E2", Title: "Flat algorithm, crash-free: RMRs per passage vs. k"}
+	tb := table.New("RMRs per passage (no crashes, all ports contending)",
+		"k", "CC", "DSM")
+	var first, last [2]float64
+	ks := []int{2, 4, 8, 16, 32, 64}
+	for _, k := range ks {
+		var row [2]float64
+		for mi, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+			mem, _, procs := coreWorld(model, k, 1, false)
+			per, err := rmrPerPassage(mem, asSched(procs), 15, uint64(k)*31+uint64(model))
+			if err != nil {
+				res.Err = err
+				return res
+			}
+			row[mi] = per
+		}
+		tb.AddF(k, row[0], row[1])
+		if k == ks[0] {
+			first = row
+		}
+		last = row
+	}
+	res.Tables = append(res.Tables, tb)
+	for mi, name := range []string{"CC", "DSM"} {
+		if last[mi] > first[mi]*2.5 {
+			res.Err = fmt.Errorf("%s series is not O(1): %0.1f at k=2 vs %0.1f at k=64",
+				name, first[mi], last[mi])
+		}
+	}
+	res.note("expected shape: flat in k (Theorem 2, crash-free half)")
+	return res
+}
+
+// crashFThenRepair crashes process 0 once at line 14 and f-1 more times at
+// the end of each repair (line 49), forcing f recoveries in one
+// super-passage.
+type crashFThenRepair struct {
+	total, done int
+	pcFirst     int
+	pcLater     int
+}
+
+func (c *crashFThenRepair) ShouldCrash(_ uint64, p sched.Proc) bool {
+	if c.done >= c.total || p.ID() != 0 {
+		return false
+	}
+	want := c.pcLater
+	if c.done == 0 {
+		want = c.pcFirst
+	}
+	if p.(sched.PCer).PC() != want {
+		return false
+	}
+	c.done++
+	return true
+}
+
+// E3CrashRMR measures process 0's super-passage RMR cost with f forced
+// crash-and-repair cycles, for several k: Theorem 2's O(f·k).
+func E3CrashRMR() *Result {
+	res := &Result{ID: "E3", Title: "Super-passage RMRs vs. crash count f (flat algorithm, DSM)"}
+	tb := table.New("RMRs of the crashing process's super-passage",
+		"k", "f=0", "f=1", "f=2", "f=4", "f=8")
+	fs := []int{0, 1, 2, 4, 8}
+	for _, k := range []int{4, 8, 16} {
+		row := []any{k}
+		var costs []float64
+		for _, f := range fs {
+			mem, _, procs := coreWorld(memsim.DSM, k, 0, false)
+			policy := &crashFThenRepair{total: f, pcFirst: corePCL14, pcLater: corePCL49}
+			r := &sched.Runner{
+				Procs:    asSched(procs),
+				Sched:    sched.Random{Src: xrand.New(uint64(k*100 + f))},
+				Crash:    policy,
+				StopWhen: func() bool { return procs[0].Passages() >= 1 },
+				MaxSteps: 1 << 26,
+			}
+			if err := r.Run(); err != nil {
+				res.Err = err
+				return res
+			}
+			cost := float64(mem.Stats(0).RMRs)
+			costs = append(costs, cost)
+			row = append(row, cost)
+		}
+		tb.AddF(row...)
+		// Shape check: roughly linear in f (f=8 within ~16x of f=1).
+		if costs[4] > costs[1]*16 {
+			res.Err = fmt.Errorf("k=%d: growth in f looks superlinear: f=1:%0.0f f=8:%0.0f",
+				k, costs[1], costs[4])
+		}
+	}
+	res.Tables = append(res.Tables, tb)
+	res.note("expected shape: linear in f with slope growing with k (Theorem 2, O(f*k))")
+	return res
+}
+
+// E4TreeRMR measures the arbitration tree's per-passage RMRs as n grows,
+// crash-free and with crashes; Theorem 3's O((1+f)·log n/log log n).
+func E4TreeRMR() *Result {
+	res := &Result{ID: "E4", Title: "Arbitration tree: RMRs per passage vs. n"}
+	tb := table.New("RMRs per passage (tree; DSM; crash-free)",
+		"n", "arity", "height", "RMR/passage", "RMR/height")
+	type point struct{ height, per float64 }
+	var pts []point
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		mem, procs := buildLock(kindTree, memsim.DSM, n, 0)
+		per, err := rmrPerPassage(mem, procs, 8, uint64(n)*7)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		tr := treeShape(n)
+		tb.AddF(n, tr.arity, tr.levels, per, per/float64(tr.levels))
+		pts = append(pts, point{height: float64(tr.levels), per: per})
+	}
+	res.Tables = append(res.Tables, tb)
+	// Shape: RMR/height roughly constant (cost proportional to the height).
+	lo, hi := pts[0].per/pts[0].height, pts[0].per/pts[0].height
+	for _, p := range pts {
+		v := p.per / p.height
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 3.5*lo {
+		res.Err = fmt.Errorf("RMR per height varies %0.1f..%0.1f; not proportional to height", lo, hi)
+	}
+	res.note("expected shape: proportional to tree height = O(log n / log log n) (Theorem 3)")
+	return res
+}
+
+// E5Comparison produces the head-to-head table: RMRs per crash-free passage
+// for MCS, the GR-style read/write tournament, the paper's flat algorithm,
+// and the paper's tree, on CC and DSM.
+func E5Comparison() *Result {
+	res := &Result{ID: "E5", Title: "RMRs per passage: baselines vs. the paper's algorithm"}
+	kinds := []lockKind{kindMCS, kindGRTournament, kindFlat, kindTree}
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		tb := table.New(fmt.Sprintf("RMRs per passage, %s machine", model),
+			"n", "MCS", "GR tournament", "flat (paper)", "tree (paper)")
+		for _, n := range []int{2, 4, 8, 16, 32, 64} {
+			row := []any{n}
+			for _, kind := range kinds {
+				mem, procs := buildLock(kind, model, n, 1)
+				per, err := rmrPerPassage(mem, procs, 10, uint64(n)+uint64(kind)*13)
+				if err != nil {
+					res.Err = err
+					return res
+				}
+				row = append(row, per)
+			}
+			tb.AddF(row...)
+		}
+		res.Tables = append(res.Tables, tb)
+	}
+	res.note("expected shape: MCS and flat stay O(1); GR tournament grows like log2 n;")
+	res.note("tree grows like log n/log log n (between flat and GR); only the paper's")
+	res.note("algorithms combine recoverability with bounded RMR on both models")
+	return res
+}

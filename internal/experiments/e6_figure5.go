@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// E6Figure5 re-runs the Figure 5 walkthrough (the paper's Appendix B
+// illustration) and renders the queue after every repair, checking each
+// intermediate state against the figure.
+func E6Figure5() *Result {
+	res := &Result{ID: "E6", Title: "Figure 5: queue states during the five repairs"}
+	states, err := Figure5States()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	for _, s := range states {
+		res.note("%s", s)
+	}
+	res.note("matches Figure 5: π1→Special+CS, π7→π2, π5→π7, π8 FAS behind π6, π3 FAS π4 / →π8")
+	return res
+}
+
+// Figure5States drives the Figure 5 schedule and returns a rendering of
+// the queue after the setup and after each repair. It returns an error if
+// any intermediate state deviates from the figure.
+func Figure5States() ([]string, error) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 8})
+	sh := core.NewShared(mem, core.Config{Ports: 8})
+	procs := make([]*core.Proc, 8)
+	for i := range procs {
+		procs[i] = core.NewProc(sh, i, i, 1)
+	}
+	d := sched.NewDriver(asSched(procs)...)
+	node := func(pi int) memsim.Addr { return sh.PeekNodeCell(pi) }
+	pred := func(pi int) memsim.Addr { return sh.PeekPred(node(pi)) }
+
+	// Setup: π1,π3,π5 crash at line 14; π2,π4,π6 wait at line 25;
+	// π7,π8 crash at line 13 (π_i is port i-1).
+	for _, pi := range []int{0, 1, 2, 3, 4, 5} {
+		if pi%2 == 0 {
+			if !d.StepUntilPC(pi, core.PCL14) {
+				return nil, fmt.Errorf("π%d never reached line 14", pi+1)
+			}
+			d.Crash(pi)
+		} else {
+			if !d.StepUntilPC(pi, core.PCL25) {
+				return nil, fmt.Errorf("π%d never reached line 25", pi+1)
+			}
+			d.Step(pi, 8)
+		}
+	}
+	for _, pi := range []int{6, 7} {
+		if !d.StepUntilPC(pi, core.PCL13) {
+			return nil, fmt.Errorf("π%d never reached line 13", pi+1)
+		}
+		d.Crash(pi)
+	}
+	var states []string
+	states = append(states, "initial:     "+RenderQueue(sh))
+
+	for _, pi := range []int{0, 6, 4, 7, 2} {
+		if !d.StepUntilPC(pi, core.PCL24) {
+			return nil, fmt.Errorf("π%d never reached line 24 after restart", pi+1)
+		}
+	}
+	repairs := []struct {
+		pi    int
+		check func() error
+	}{
+		{0, func() error {
+			if pred(0) != sh.InCSNode {
+				return fmt.Errorf("π1 should be in the CS after its repair")
+			}
+			return nil
+		}},
+		{6, func() error {
+			if pred(6) != node(1) {
+				return fmt.Errorf("π7 should point at π2's node")
+			}
+			return nil
+		}},
+		{4, func() error {
+			if pred(4) != node(6) {
+				return fmt.Errorf("π5 should point at π7's node")
+			}
+			return nil
+		}},
+		{7, func() error {
+			if pred(7) != node(5) || sh.PeekTail() != node(7) {
+				return fmt.Errorf("π8 should FAS itself behind π6")
+			}
+			return nil
+		}},
+		{2, func() error {
+			if pred(2) != node(7) || sh.PeekTail() != node(3) {
+				return fmt.Errorf("π3 should FAS π4 in and point at π8's node")
+			}
+			return nil
+		}},
+	}
+	for _, rep := range repairs {
+		var arrived bool
+		if rep.pi == 0 {
+			arrived = d.StepUntilSection(rep.pi, sched.CS)
+		} else {
+			arrived = d.StepUntilPC(rep.pi, core.PCL25)
+		}
+		if !arrived {
+			return nil, fmt.Errorf("π%d did not finish its repair", rep.pi+1)
+		}
+		if err := rep.check(); err != nil {
+			return nil, err
+		}
+		states = append(states, fmt.Sprintf("π%d repairs:  %s", rep.pi+1, RenderQueue(sh)))
+	}
+	return states, nil
+}
+
+// RenderQueue renders the port table's fragments in Figure 5 style: the
+// tail chain first (from Tail, following Pred), then the remaining
+// fragments, naming each node π(port+1) and showing where each fragment's
+// head points.
+func RenderQueue(sh *core.Shared) string {
+	name := make(map[memsim.Addr]string)
+	for p := 0; p < sh.Ports(); p++ {
+		if n := sh.PeekNodeCell(p); n != memsim.NilAddr {
+			name[n] = fmt.Sprintf("π%d", p+1)
+		}
+	}
+	headOf := func(a memsim.Addr) string {
+		switch {
+		case a == memsim.NilAddr:
+			return "⊥"
+		case sh.IsSentinel(a), a == sh.SpecialNode:
+			return sh.SentinelName(a)
+		case name[a] != "":
+			return name[a]
+		default:
+			return "x" // an abandoned completed node (the figure's "x")
+		}
+	}
+	// A fragment's tail is a named node that no other named node's Pred
+	// references; render each fragment tail → head, the Tail pointer's
+	// fragment first.
+	pointedAt := make(map[memsim.Addr]bool)
+	for n := range name {
+		pointedAt[sh.PeekPred(n)] = true
+	}
+	renderChainFrom := func(start memsim.Addr, label string) string {
+		var b strings.Builder
+		b.WriteString(label)
+		cur := start
+		for hops := 0; cur != memsim.NilAddr && name[cur] != "" && hops <= sh.Ports(); hops++ {
+			b.WriteString(name[cur])
+			nxt := sh.PeekPred(cur)
+			b.WriteString("→")
+			if name[nxt] == "" {
+				b.WriteString(headOf(nxt))
+				break
+			}
+			cur = nxt
+		}
+		return b.String()
+	}
+	var parts []string
+	tailPtr := sh.PeekTail()
+	if name[tailPtr] != "" {
+		parts = append(parts, renderChainFrom(tailPtr, "Tail:"))
+	} else {
+		parts = append(parts, "Tail:"+headOf(tailPtr))
+	}
+	var rest []int
+	for p := 0; p < sh.Ports(); p++ {
+		n := sh.PeekNodeCell(p)
+		if n == memsim.NilAddr || n == tailPtr || pointedAt[n] {
+			continue
+		}
+		rest = append(rest, p)
+	}
+	sort.Ints(rest)
+	for _, p := range rest {
+		parts = append(parts, renderChainFrom(sh.PeekNodeCell(p), ""))
+	}
+	return strings.Join(parts, "  ")
+}

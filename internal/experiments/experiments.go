@@ -1,0 +1,189 @@
+// Package experiments implements the reproduction harness: one runner per
+// experiment in EXPERIMENTS.md (E1–E11), each regenerating a paper artifact
+// — a theorem's complexity claim measured in the simulated RMR model, the
+// Figure 5 walkthrough, or an Appendix A failure scenario. cmd/rmebench
+// prints the results; bench_test.go wraps them as testing.B benchmarks;
+// tests assert on the shapes.
+//
+// All runs are deterministic: schedules and crash points derive from fixed
+// seeds, so tables are reproducible bit-for-bit.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/mcs"
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/rlock"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/table"
+	"github.com/rmelib/rme/internal/tree"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier (e.g. "E2").
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Tables carry the measured series.
+	Tables []*table.Table
+	// Notes carry free-form findings (e.g. "deadlocked: true").
+	Notes []string
+	// Err is set when the experiment could not complete or an assertion
+	// embedded in the runner failed; runners never panic.
+	Err error
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner produces one experiment result.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func() *Result
+}
+
+// All returns every experiment in order. E12 (runtime throughput) lives in
+// bench_test.go only: it measures wall-clock, which has no place in the
+// deterministic harness.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Signal object RMR (Theorem 1, Figures 1-2)", E1Signal},
+		{"E2", "Crash-free passage RMR is O(1) (Theorem 2)", E2PassageRMR},
+		{"E3", "Super-passage RMR is O(f*k) under f crashes (Theorem 2)", E3CrashRMR},
+		{"E4", "Arbitration tree RMR is O((1+f) log n/log log n) (Theorem 3)", E4TreeRMR},
+		{"E5", "Head-to-head RMR comparison (MCS / GR tournament / flat / tree)", E5Comparison},
+		{"E6", "Figure 5 queue-repair walkthrough", E6Figure5},
+		{"E7", "Appendix A Scenario 1: GH deadlock; this algorithm survives", E7Scenario1},
+		{"E8", "Appendix A Scenario 2: GH starvation; this algorithm survives", E8Scenario2},
+		{"E9", "Shallow vs deep exploration ablation (S1.5)", E9Ablation},
+		{"E10", "Wait-free Exit and wait-free CSR bounds (Lemmas 6-7)", E10Bounds},
+		{"E11", "Invariant checking sweep (Appendix C subset)", E11Invariant},
+	}
+}
+
+// ---------------------------------------------------------------- helpers
+
+// coreWorld builds a flat k-ported instance with one client per port.
+func coreWorld(model memsim.Model, k, dwell int, deep bool) (*memsim.Memory, *core.Shared, []*core.Proc) {
+	return coreWorldCache(model, k, dwell, deep, 0)
+}
+
+// coreWorldCache is coreWorld with a bounded CC cache (0 = unbounded).
+func coreWorldCache(model memsim.Model, k, dwell int, deep bool, cacheCap int) (*memsim.Memory, *core.Shared, []*core.Proc) {
+	mem := memsim.New(memsim.Config{Model: model, Procs: k, CacheCapacity: cacheCap})
+	sh := core.NewShared(mem, core.Config{Ports: k, DeepExploration: deep})
+	procs := make([]*core.Proc, k)
+	for i := 0; i < k; i++ {
+		procs[i] = core.NewProc(sh, i, i, dwell)
+	}
+	return mem, sh, procs
+}
+
+func asSched[T sched.Proc](ps []T) []sched.Proc {
+	out := make([]sched.Proc, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+// rmrPerPassage runs procs under a seeded random schedule until every
+// process finished passages passages, then averages RMRs per passage over
+// all processes.
+func rmrPerPassage(mem *memsim.Memory, procs []sched.Proc, passages uint64, seed uint64) (float64, error) {
+	r := &sched.Runner{
+		Procs:    procs,
+		Sched:    sched.Random{Src: xrand.New(seed)},
+		StopWhen: sched.AllPassagesAtLeast(procs, passages),
+		MaxSteps: 1 << 26,
+	}
+	if err := r.Run(); err != nil {
+		return 0, err
+	}
+	var rmrs, done uint64
+	for i, p := range procs {
+		rmrs += mem.Stats(i).RMRs
+		done += p.Passages()
+	}
+	return float64(rmrs) / float64(done), nil
+}
+
+// Paper-line program counters used by crash policies.
+const (
+	corePCL14 = core.PCL14
+	corePCL49 = core.PCL49
+)
+
+// shape describes an arbitration tree's geometry.
+type shape struct{ arity, levels int }
+
+func treeShape(n int) shape {
+	arity := tree.DefaultArity(n)
+	levels, groups := 0, n
+	for groups > 1 {
+		groups = (groups + arity - 1) / arity
+		levels++
+	}
+	return shape{arity: arity, levels: levels}
+}
+
+// lockKind identifies an algorithm for the comparison experiments.
+type lockKind int
+
+const (
+	kindMCS lockKind = iota
+	kindGRTournament
+	kindFlat
+	kindTree
+)
+
+func (k lockKind) String() string {
+	switch k {
+	case kindMCS:
+		return "MCS (not recoverable)"
+	case kindGRTournament:
+		return "GR-style tournament (RLock)"
+	case kindFlat:
+		return "this paper, flat k-ported"
+	case kindTree:
+		return "this paper, arbitration tree"
+	default:
+		return "?"
+	}
+}
+
+// buildLock constructs n clients of the given algorithm over a fresh
+// memory.
+func buildLock(kind lockKind, model memsim.Model, n, dwell int) (*memsim.Memory, []sched.Proc) {
+	mem := memsim.New(memsim.Config{Model: model, Procs: n})
+	procs := make([]sched.Proc, n)
+	switch kind {
+	case kindMCS:
+		lk := mcs.New(mem, n)
+		for i := 0; i < n; i++ {
+			procs[i] = mcs.NewProc(mem, lk, i, dwell)
+		}
+	case kindGRTournament:
+		lk := rlock.New(mem, n)
+		for i := 0; i < n; i++ {
+			procs[i] = rlock.NewProc(mem, lk, i, i, dwell)
+		}
+	case kindFlat:
+		sh := core.NewShared(mem, core.Config{Ports: n})
+		for i := 0; i < n; i++ {
+			procs[i] = core.NewProc(sh, i, i, dwell)
+		}
+	case kindTree:
+		tr := tree.New(mem, tree.Config{Procs: n})
+		for i := 0; i < n; i++ {
+			procs[i] = tree.NewProc(mem, tr, i, dwell)
+		}
+	}
+	return mem, procs
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperiments runs the full harness: every experiment must complete
+// without error, and the embedded shape assertions (flat O(1) series,
+// linear-in-f growth, deadlock/starvation reproduction, zero invariant
+// violations, …) must all hold. This is the repository's top-level
+// integration test.
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep is not short")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			res := r.Run()
+			if res.Err != nil {
+				t.Fatalf("%s (%s): %v", res.ID, r.Title, res.Err)
+			}
+			if len(res.Tables) == 0 && len(res.Notes) == 0 {
+				t.Fatalf("%s produced no output", res.ID)
+			}
+			for _, tb := range res.Tables {
+				t.Logf("\n%s", tb)
+			}
+			for _, n := range res.Notes {
+				t.Log(n)
+			}
+		})
+	}
+}
+
+func TestFigure5StatesRendering(t *testing.T) {
+	states, err := Figure5States()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 6 { // initial + five repairs
+		t.Fatalf("states = %d, want 6", len(states))
+	}
+	if !strings.Contains(states[0], "Tail:π6") {
+		t.Fatalf("initial state should start at π6's node: %s", states[0])
+	}
+	final := states[len(states)-1]
+	// Final chain: Tail (π4) → π3 → π8 → π6 → π5 → π7 → π2 → π1 → &InCS.
+	want := "π4→π3→π8→π6→π5→π7→π2→π1→&InCS"
+	if !strings.Contains(final, want) {
+		t.Fatalf("final state missing chain %q: %s", want, final)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	s := treeShape(64)
+	if s.arity < 2 || s.levels < 2 {
+		t.Fatalf("odd shape for n=64: %+v", s)
+	}
+	if s1 := treeShape(2); s1.levels != 1 {
+		t.Fatalf("n=2 should be a single node, got %+v", s1)
+	}
+}
+
+func TestLockKindString(t *testing.T) {
+	for _, k := range []lockKind{kindMCS, kindGRTournament, kindFlat, kindTree} {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

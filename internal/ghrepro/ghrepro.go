@@ -1,0 +1,500 @@
+// Package ghrepro reconstructs the failure-relevant mechanisms of Golab and
+// Hendler's PODC'17 recoverable mutual exclusion algorithm ("GH"), in order
+// to reproduce the two bugs reported in the paper's Appendix A:
+//
+//   - Scenario 1 (deadlock in Recover): a recovering GH process raises its
+//     fail flag only after an IsLinkedTo scan confirms evidence that its FAS
+//     took effect, and that scan *waits* for every in-flight node's prev
+//     field to become non-⊥. Two processes that both crashed between their
+//     FAS and their prev-write therefore wait on each other forever. (The
+//     paper's algorithm removes the check: line 18 unconditionally writes
+//     &Crash into the node's Pred.)
+//
+//   - Scenario 2 (starvation): GH's repair scans the node table in index
+//     order into a relation R while the queue keeps moving, stitches the
+//     stale segments together, and can end up giving two nodes the same
+//     predecessor. The predecessor's single next pointer then wakes only
+//     one of them; the other starves forever. (The paper's algorithm
+//     serializes repairs behind RLock *and* re-derives everything from a
+//     fresh scan with a NonNil handshake, and its invariant — Condition 4 —
+//     forbids shared predecessors.)
+//
+// GH's full source is not in the reproduced paper, so this package is a
+// faithful reconstruction of the mechanisms Appendix A describes (node
+// fields prev/next/nextStep, lnodes table, IsLinkedTo, the rLock-guarded
+// R-relation repair), not of GH's complete code; see DESIGN.md §5,
+// substitution 4. The line numbers in Appendix A map onto the program
+// counters as documented on each constant.
+//
+// The deep, index-ordered scan here is also the "deep exploration" cost
+// model of §1.5: experiment E9 contrasts it with the paper's shallow
+// exploration.
+package ghrepro
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// Node field offsets. A node is allocated per passage in its creator's
+// partition. released is inverted MCS-style locking so that the zero value
+// of a fresh node means "must wait".
+const (
+	offPrev     = 0
+	offNext     = 1
+	offReleased = 2
+	offNextStep = 3
+	nodeWords   = 4
+)
+
+// freeMark is the prev value of a node that entered when the lock was free
+// (it models GH's "no predecessor" evidence; distinct from ⊥ = 0).
+const freeMark = 1
+
+// nextStep26 marks that the process was executing the FAS/prev-write region
+// (Appendix A's "mynode.nextStep = 26").
+const nextStep26 = 26
+
+// Lock is the shared NVRAM layout of the reconstruction.
+type Lock struct {
+	mem    *memsim.Memory
+	n      int
+	tail   memsim.Addr // FAS target; 0 = lock free
+	lnodes memsim.Addr // lnodes[0..n-1]: current node of each process
+	rlock  memsim.Addr // recovery lock (test-and-set; only recoverers use it)
+}
+
+// New allocates the shared state for n processes.
+func New(mem *memsim.Memory, n int) *Lock {
+	if n <= 0 {
+		panic("ghrepro: need at least one process")
+	}
+	return &Lock{
+		mem:    mem,
+		n:      n,
+		tail:   mem.Alloc(memsim.HomeShared, 1),
+		lnodes: mem.Alloc(memsim.HomeShared, n),
+		rlock:  mem.Alloc(memsim.HomeShared, 1),
+	}
+}
+
+func (l *Lock) lnode(i int) memsim.Addr { return l.lnodes + memsim.Addr(i) }
+
+// PeekLNode reads lnodes[i] without accounting (tests).
+func (l *Lock) PeekLNode(i int) memsim.Addr {
+	return memsim.Addr(l.mem.Peek(l.lnode(i)))
+}
+
+// PeekPrev reads a node's prev without accounting (tests).
+func (l *Lock) PeekPrev(node memsim.Addr) memsim.Addr {
+	return memsim.Addr(l.mem.Peek(node + offPrev))
+}
+
+// Program counters. Comments map them to the Appendix A narrative.
+const (
+	PCRemainder = iota
+	PCAlloc     // allocate the passage's node, publish it in lnodes[i]
+	PCNextStep  // mynode.nextStep := 26
+	PCFAS       // pred := FAS(tail, mynode)            ("Line 26" region)
+	PCPrev      // mynode.prev := pred (crash here = Appendix A's pre-26 crash)
+	PCLink      // pred.next := mynode                   (GH Line 30)
+	PCSpin      // await mynode.released                 (GH Line 31)
+	PCCS        // critical section
+	PCExitRead  // next := mynode.next
+	PCExitCAS   // CAS(tail, mynode, 0) if no next yet
+	PCExitSpin  // await mynode.next
+	PCExitWake  // next.released := 1
+	PCExitClear // lnodes[i] := 0
+
+	PCRecRead  // recovery: mynode := lnodes[i]
+	PCRecPrev  // read mynode.prev: ≠⊥ means already linked
+	PCRecStep  // read mynode.nextStep
+	PCILNode   // IsLinkedTo: cur := lnodes[il]          (GH Line 44 ff.)
+	PCILWait   // await cur.prev != ⊥        ← Scenario 1 deadlock (GH Line 68)
+	PCILCheck  // evidence check: cur.prev == mynode?
+	PCILTail   // read tail; == mynode is also evidence
+	PCRLock    // acquire the recovery lock (test-and-set)
+	PCTailSnap // snapshot tail once for the whole scan (gives "(i, TAIL)")
+	PCScanNode // repair scan: cur := lnodes[j]          (GH Line 76)
+	PCScanPrev // read cur.prev, extend R (TAIL mark from the snapshot)
+	PCChoose   // segment stitching (local)              (GH Lines ~80–92)
+	PCRepair   // mynode.prev := chosen                  (GH Line 93)
+	PCUnRLock  // release the recovery lock; continue at PCLink (GH Line 28–30)
+)
+
+// pair is one element of the repair relation R: node's prev was prev when
+// scanned (Appendix A's "(2,3)" notation, as node addresses).
+type pair struct {
+	prev, node memsim.Addr
+	tailMark   bool // tail pointed at node when it was scanned
+}
+
+// Proc is a sched.Proc running the GH reconstruction.
+type Proc struct {
+	id    int
+	mem   *memsim.Memory
+	lk    *Lock
+	pc    int
+	dwell int
+	left  int
+
+	mynode   memsim.Addr
+	pred     memsim.Addr
+	next     memsim.Addr
+	il       int // IsLinkedTo loop index
+	cur      memsim.Addr
+	j        int // repair scan index
+	tailSnap memsim.Addr
+	r        []pair
+	seen     []memsim.Addr // every node scanned from lnodes, even prev = ⊥
+
+	passages uint64
+}
+
+// NewProc builds the client for process id.
+func NewProc(mem *memsim.Memory, lk *Lock, id, dwell int) *Proc {
+	if id < 0 || id >= lk.n {
+		panic(fmt.Sprintf("ghrepro: proc %d out of range", id))
+	}
+	return &Proc{id: id, mem: mem, lk: lk, dwell: dwell}
+}
+
+// ID implements sched.Proc.
+func (p *Proc) ID() int { return p.id }
+
+// PC implements sched.PCer.
+func (p *Proc) PC() int { return p.pc }
+
+// Section implements sched.Proc.
+func (p *Proc) Section() sched.Section {
+	switch p.pc {
+	case PCRemainder:
+		return sched.Remainder
+	case PCCS:
+		return sched.CS
+	case PCExitRead, PCExitCAS, PCExitSpin, PCExitWake, PCExitClear:
+		return sched.Exit
+	default:
+		return sched.Try
+	}
+}
+
+// Passages implements sched.Proc.
+func (p *Proc) Passages() uint64 { return p.passages }
+
+// MyNode exposes the current node register (tests).
+func (p *Proc) MyNode() memsim.Addr { return p.mynode }
+
+// Crash implements sched.Proc: registers wiped, PC to Remainder. The next
+// normal step runs GH's Recover section if lnodes[i] is still set.
+func (p *Proc) Crash() {
+	p.pc = PCRemainder
+	p.mynode, p.pred, p.next, p.cur, p.tailSnap = 0, 0, 0, 0, 0
+	p.il, p.j, p.left = 0, 0, 0
+	p.r = nil
+	p.seen = nil
+	p.mem.CrashProcess(p.id)
+}
+
+// Step implements sched.Proc.
+func (p *Proc) Step() {
+	mem, lk := p.mem, p.lk
+	switch p.pc {
+	case PCRemainder:
+		// Entering Try; Recover runs first if a previous passage remains.
+		p.pc = PCRecRead
+
+	case PCRecRead:
+		p.mynode = memsim.Addr(mem.Read(p.id, lk.lnode(p.id)))
+		if p.mynode == memsim.NilAddr {
+			p.pc = PCAlloc
+		} else {
+			p.pc = PCRecPrev
+		}
+
+	case PCAlloc:
+		p.mynode = mem.Alloc(p.id, nodeWords)
+		mem.Write(p.id, lk.lnode(p.id), memsim.Word(p.mynode))
+		p.pc = PCNextStep
+
+	case PCNextStep:
+		mem.Write(p.id, p.mynode+offNextStep, nextStep26)
+		p.pc = PCFAS
+
+	case PCFAS:
+		p.pred = memsim.Addr(mem.FAS(p.id, lk.tail, memsim.Word(p.mynode)))
+		p.pc = PCPrev
+
+	case PCPrev:
+		if p.pred == memsim.NilAddr {
+			mem.Write(p.id, p.mynode+offPrev, freeMark)
+			p.pc = PCCS
+			p.left = p.dwell
+		} else {
+			mem.Write(p.id, p.mynode+offPrev, memsim.Word(p.pred))
+			p.pc = PCLink
+		}
+
+	case PCLink:
+		mem.Write(p.id, p.pred+offNext, memsim.Word(p.mynode))
+		p.pc = PCSpin
+
+	case PCSpin:
+		if mem.Read(p.id, p.mynode+offReleased) != 0 {
+			p.pc = PCCS
+			p.left = p.dwell
+		}
+
+	case PCCS:
+		if p.left > 0 {
+			p.left--
+			mem.LocalStep(p.id)
+			return
+		}
+		p.pc = PCExitRead
+
+	case PCExitRead:
+		p.next = memsim.Addr(mem.Read(p.id, p.mynode+offNext))
+		if p.next != memsim.NilAddr {
+			p.pc = PCExitWake
+		} else {
+			p.pc = PCExitCAS
+		}
+
+	case PCExitCAS:
+		if _, ok := mem.CAS(p.id, lk.tail, memsim.Word(p.mynode), 0); ok {
+			p.pc = PCExitClear
+		} else {
+			p.pc = PCExitSpin
+		}
+
+	case PCExitSpin:
+		p.next = memsim.Addr(mem.Read(p.id, p.mynode+offNext))
+		if p.next != memsim.NilAddr {
+			p.pc = PCExitWake
+		}
+
+	case PCExitWake:
+		mem.Write(p.id, p.next+offReleased, 1)
+		p.pc = PCExitClear
+
+	case PCExitClear:
+		mem.Write(p.id, lk.lnode(p.id), 0)
+		p.passages++
+		p.pc = PCRemainder
+
+	// ----------------------------------------------------- Recover section
+	case PCRecPrev:
+		prev := memsim.Addr(mem.Read(p.id, p.mynode+offPrev))
+		switch {
+		case prev == freeMark:
+			p.pc = PCCS // crashed inside the CS
+			p.left = p.dwell
+		case prev != memsim.NilAddr:
+			p.pred = prev
+			p.pc = PCLink // already linked; re-announce and wait
+		default:
+			p.pc = PCRecStep
+		}
+
+	case PCRecStep:
+		if mem.Read(p.id, p.mynode+offNextStep) == nextStep26 {
+			p.il = 0
+			p.pc = PCILNode // IsLinkedTo: find evidence the FAS happened
+		} else {
+			p.pc = PCNextStep // crashed before the FAS region: redo it
+		}
+
+	case PCILNode:
+		if p.il >= lk.n {
+			p.pc = PCILTail
+			break
+		}
+		if p.il == p.id {
+			p.il++
+			mem.LocalStep(p.id)
+			break
+		}
+		p.cur = memsim.Addr(mem.Read(p.id, lk.lnode(p.il)))
+		if p.cur == memsim.NilAddr {
+			p.il++
+		} else {
+			p.pc = PCILWait
+		}
+
+	case PCILWait:
+		// THE SCENARIO 1 BUG, reconstructed: wait for the scanned node's
+		// prev to become non-⊥ *before* having announced our own failure
+		// anywhere. Two processes in this state starve each other.
+		if mem.Read(p.id, p.cur+offPrev) != memsim.Word(memsim.NilAddr) {
+			p.pc = PCILCheck
+		}
+
+	case PCILCheck:
+		if memsim.Addr(mem.Read(p.id, p.cur+offPrev)) == p.mynode {
+			p.pc = PCRLock // evidence found: repair under the rlock
+		} else {
+			p.il++
+			p.pc = PCILNode
+		}
+
+	case PCILTail:
+		if memsim.Addr(mem.Read(p.id, lk.tail)) == p.mynode {
+			p.pc = PCRLock // tail still points at us: the FAS happened
+		} else {
+			p.pc = PCNextStep // no evidence: redo the FAS
+		}
+
+	case PCRLock:
+		if mem.FAS(p.id, lk.rlock, 1) == 0 {
+			p.pc = PCTailSnap
+		}
+
+	case PCTailSnap:
+		p.tailSnap = memsim.Addr(mem.Read(p.id, lk.tail))
+		p.j = 0
+		p.r = nil
+		p.seen = nil
+		p.pc = PCScanNode
+
+	case PCScanNode:
+		if p.j >= lk.n {
+			p.pc = PCChoose
+			break
+		}
+		p.cur = memsim.Addr(mem.Read(p.id, lk.lnode(p.j)))
+		if p.cur == memsim.NilAddr {
+			p.j++
+		} else {
+			p.pc = PCScanPrev
+		}
+
+	case PCScanPrev:
+		prev := memsim.Addr(mem.Read(p.id, p.cur+offPrev))
+		p.seen = append(p.seen, p.cur)
+		if prev != memsim.NilAddr {
+			p.r = append(p.r, pair{prev: prev, node: p.cur, tailMark: p.cur == p.tailSnap})
+		}
+		p.j++
+		p.pc = PCScanNode
+
+	case PCChoose:
+		p.pred = p.chooseFromR()
+		mem.LocalSteps(p.id, len(p.r))
+		p.pc = PCRepair
+
+	case PCRepair:
+		// GH "Line 93": adopt the stitched predecessor. The relation R is
+		// stale by now — this very write is what creates the duplicate
+		// predecessor of Scenario 2.
+		mem.Write(p.id, p.mynode+offPrev, memsim.Word(p.pred))
+		p.pc = PCUnRLock
+
+	case PCUnRLock:
+		mem.Write(p.id, lk.rlock, 0)
+		p.pc = PCLink // GH Lines 28–30: link behind the chosen pred, wait
+	}
+}
+
+// chooseFromR performs the segment stitching of GH's repair on the scanned
+// relation R, following the ordering Appendix A describes for Scenario 2:
+// the "non-failed" (front) segment comes first, middle segments follow in
+// scan order, and the repairing process's own segment is last; the repair
+// adopts as predecessor the last node of the segment ordered immediately
+// before its own. The relation is *stale* by construction — that staleness
+// is the Scenario 2 bug being reconstructed, not a defect of this function.
+func (p *Proc) chooseFromR() memsim.Addr {
+	nodePrev := make(map[memsim.Addr]memsim.Addr, len(p.r)) // first observation wins
+	succ := make(map[memsim.Addr]memsim.Addr, len(p.r))
+	incoming := make(map[memsim.Addr]bool, len(p.r))
+	live := make(map[memsim.Addr]bool, len(p.seen)) // scanned from the lnodes table
+	for _, n := range p.seen {
+		live[n] = true
+	}
+	firstPos := make(map[memsim.Addr]int, len(p.r))
+	for pos, pr := range p.r {
+		if _, seen := nodePrev[pr.node]; !seen {
+			nodePrev[pr.node] = pr.prev
+		}
+		if _, seen := firstPos[pr.node]; !seen {
+			firstPos[pr.node] = pos
+		}
+		if pr.prev == freeMark {
+			continue
+		}
+		if _, seen := firstPos[pr.prev]; !seen {
+			firstPos[pr.prev] = pos
+		}
+		// First-recorded successor wins; a second edge from the same prev
+		// (the duplicate-predecessor state this very bug creates) shadows
+		// its target, which is then excluded from segment formation below.
+		if _, taken := succ[pr.prev]; !taken {
+			succ[pr.prev] = pr.node
+			incoming[pr.node] = true
+		}
+	}
+	type segment struct {
+		chain   []memsim.Addr
+		scanPos int
+		front   bool
+		mine    bool
+	}
+	var segments []segment
+	for v := range firstPos {
+		if incoming[v] {
+			continue // interior vertex
+		}
+		prev, known := nodePrev[v]
+		attachedBehindGraph := known && prev != freeMark && live[prev]
+		if attachedBehindGraph {
+			continue // fork-shadowed (its predecessor already has a successor)
+		}
+		seg := segment{scanPos: firstPos[v]}
+		for cur := v; cur != 0; cur = succ[cur] {
+			seg.chain = append(seg.chain, cur)
+			if cur == p.mynode {
+				seg.mine = true
+			}
+			if succ[cur] == 0 {
+				break
+			}
+		}
+		// Front: anchored at a free-entry node or at a node whose owner
+		// has already left the table (the fragment holding the queue head).
+		seg.front = nodePrev[v] == freeMark || !live[v]
+		segments = append(segments, seg)
+	}
+	// Deterministic GH ordering: front segments first, then middle segments
+	// in scan order, then our own segment last.
+	var ordered []segment
+	for _, s := range segments {
+		if s.front && !s.mine {
+			ordered = append(ordered, s)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].scanPos < ordered[j].scanPos })
+	var middles []segment
+	for _, s := range segments {
+		if !s.front && !s.mine {
+			middles = append(middles, s)
+		}
+	}
+	sort.Slice(middles, func(i, j int) bool { return middles[i].scanPos < middles[j].scanPos })
+	ordered = append(ordered, middles...)
+
+	var mine *segment
+	for i := range segments {
+		if segments[i].mine {
+			mine = &segments[i]
+		}
+	}
+	if len(ordered) == 0 || mine == nil {
+		// Nothing to stitch behind: enter at the front.
+		return freeMark
+	}
+	before := ordered[len(ordered)-1]
+	return before.chain[len(before.chain)-1]
+}

@@ -1,0 +1,154 @@
+package ghrepro
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// This file exports compact drivers for the two Appendix A schedules, used
+// by the experiment harness (cmd/rmebench, experiment E7/E8) and the CLI
+// trace tool. The package's tests drive the same schedules with finer
+// intermediate assertions.
+
+// Scenario1Outcome reports what happened when the Appendix A.1 schedule was
+// driven against the GH reconstruction.
+type Scenario1Outcome struct {
+	// Deadlocked is true when P2 and P4 ended up waiting on each other's
+	// prev fields with no progress within the step budget.
+	Deadlocked bool
+	// P2Waits and P4Waits are the IsLinkedTo indices each process is stuck
+	// at (4 and 2 respectively when the bug reproduces).
+	P2Waits, P4Waits int
+	// Steps is the budget spent demonstrating the hang.
+	Steps uint64
+}
+
+// RunScenario1 drives Appendix A.1 against the GH reconstruction.
+func RunScenario1(budget uint64) (Scenario1Outcome, error) {
+	var out Scenario1Outcome
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 5})
+	lk := New(mem, 5)
+	procs := make([]*Proc, 5)
+	for i := range procs {
+		procs[i] = NewProc(mem, lk, i, 0)
+	}
+	d := sched.NewDriver(ghAsSchedProcs(procs)...)
+	const P2, P4 = 2, 4
+
+	if !d.FinishPassage(P4) {
+		return out, fmt.Errorf("setup: P4's first passage did not complete")
+	}
+	if !d.StepUntilPC(P2, PCPrev) {
+		return out, fmt.Errorf("setup: P2 never reached its prev-write")
+	}
+	d.Crash(P2)
+	if !d.StepUntilPC(P2, PCILNode) {
+		return out, fmt.Errorf("setup: P2 did not enter IsLinkedTo")
+	}
+	if !d.StepUntilPC(P4, PCPrev) {
+		return out, fmt.Errorf("setup: P4 never reached its prev-write")
+	}
+	d.Crash(P4)
+	if !d.StepUntilPC(P4, PCILNode) {
+		return out, fmt.Errorf("setup: P4 did not enter IsLinkedTo")
+	}
+
+	d.Budget = budget
+	progressed := d.RunConcurrently([]int{P2, P4}, func() bool {
+		return procs[P2].Passages() > 0 || procs[P4].Passages() > 1 ||
+			procs[P2].Section() == sched.CS || procs[P4].Section() == sched.CS
+	})
+	out.Steps = d.Steps()
+	out.Deadlocked = !progressed && procs[P2].pc == PCILWait && procs[P4].pc == PCILWait
+	out.P2Waits, out.P4Waits = procs[P2].il, procs[P4].il
+	return out, nil
+}
+
+// Scenario2Outcome reports what happened when the Appendix A.2 schedule was
+// driven against the GH reconstruction.
+type Scenario2Outcome struct {
+	// DuplicatePredecessor is true when P2's and P6's nodes ended up with
+	// the same predecessor (P5's node) — the state the paper's invariant
+	// Condition 4 forbids.
+	DuplicatePredecessor bool
+	// Drained is true when P0..P5 all subsequently reached the CS.
+	Drained bool
+	// P6Starved is true when P6 never reached the CS within the budget
+	// even though the rest of the queue drained.
+	P6Starved bool
+}
+
+// RunScenario2 drives Appendix A.2 against the GH reconstruction.
+func RunScenario2(budget uint64) (Scenario2Outcome, error) {
+	var out Scenario2Outcome
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 7})
+	lk := New(mem, 7)
+	procs := make([]*Proc, 7)
+	for i := range procs {
+		procs[i] = NewProc(mem, lk, i, 0)
+	}
+	d := sched.NewDriver(ghAsSchedProcs(procs)...)
+	node := func(i int) memsim.Addr { return lk.PeekLNode(i) }
+
+	if !d.StepUntilSection(0, sched.CS) {
+		return out, fmt.Errorf("setup: P0 never entered the CS")
+	}
+	if !d.StepUntilPC(1, PCSpin) {
+		return out, fmt.Errorf("setup: P1 did not queue")
+	}
+	if !d.StepUntilPC(2, PCPrev) {
+		return out, fmt.Errorf("setup: P2 never reached its prev-write")
+	}
+	d.Crash(2)
+	if !d.StepUntilPC(2, PCRLock) {
+		return out, fmt.Errorf("setup: P2's IsLinkedTo found no evidence")
+	}
+	if !d.StepUntilPC(3, PCSpin) {
+		return out, fmt.Errorf("setup: P3 did not queue")
+	}
+	if !d.StepUntil(2, func(sched.Proc) bool { return procs[2].pc == PCScanNode && procs[2].j == 4 }) {
+		return out, fmt.Errorf("setup: P2's scan did not pause at j=4")
+	}
+	if !d.StepUntilPC(4, PCPrev) {
+		return out, fmt.Errorf("setup: P4 never reached its prev-write")
+	}
+	d.Crash(4)
+	if !d.StepUntilPC(5, PCSpin) {
+		return out, fmt.Errorf("setup: P5 did not queue")
+	}
+	if !d.StepUntilPC(2, PCUnRLock) {
+		return out, fmt.Errorf("setup: P2 did not finish its repair")
+	}
+	if !d.StepUntilPC(6, PCSpin) {
+		return out, fmt.Errorf("setup: P6 did not queue")
+	}
+	if !d.StepUntilPC(2, PCSpin) {
+		return out, fmt.Errorf("setup: P2 did not reach its spin")
+	}
+
+	out.DuplicatePredecessor = lk.PeekPrev(node(2)) == node(5) && lk.PeekPrev(node(6)) == node(5)
+
+	everyoneElse := []int{0, 1, 2, 3, 4, 5}
+	sawCS := make(map[int]bool)
+	d.Budget = budget
+	out.Drained = d.RunConcurrently(everyoneElse, func() bool {
+		for _, i := range everyoneElse {
+			if procs[i].Section() == sched.CS {
+				sawCS[i] = true
+			}
+		}
+		return len(sawCS) == len(everyoneElse)
+	})
+	out.P6Starved = out.Drained && !d.StepUntilSection(6, sched.CS)
+	return out, nil
+}
+
+func ghAsSchedProcs(ps []*Proc) []sched.Proc {
+	out := make([]sched.Proc, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package ghrepro
+
+import (
+	"testing"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// These tests reproduce the paper's Appendix A, move for move:
+// the Golab–Hendler reconstruction deadlocks (Scenario 1) and starves a
+// correct process (Scenario 2), while the paper's algorithm (internal/core)
+// completes the analogous schedules. They are experiments E7 and E8.
+
+func newGHWorld(t testing.TB, n int) (*memsim.Memory, *Lock, []*Proc) {
+	t.Helper()
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: n})
+	lk := New(mem, n)
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = NewProc(mem, lk, i, 0)
+	}
+	return mem, lk, procs
+}
+
+func ghAsSched(ps []*Proc) []sched.Proc {
+	out := make([]sched.Proc, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+// TestGHBasicOperation sanity-checks the reconstruction in crash-free runs:
+// the bugs are in the recovery path, not the fast path.
+func TestGHBasicOperation(t *testing.T) {
+	_, _, procs := newGHWorld(t, 4)
+	violated := false
+	inCS := func() int {
+		n := 0
+		for _, p := range procs {
+			if p.Section() == sched.CS {
+				n++
+			}
+		}
+		return n
+	}
+	r := &sched.Runner{
+		Procs:    ghAsSched(procs),
+		OnStep:   func(sched.StepEvent) { violated = violated || inCS() > 1 },
+		StopWhen: sched.AllPassagesAtLeast(ghAsSched(procs), 10),
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("GH reconstruction violates ME without crashes; reconstruction broken")
+	}
+}
+
+// TestGHScenario1Deadlock reproduces Appendix A.1: P2 and P4 both crash
+// between their FAS and their prev-write; on recovery, each IsLinkedTo scan
+// waits for the *other* node's prev to become non-⊥, forever.
+func TestGHScenario1Deadlock(t *testing.T) {
+	_, lk, procs := newGHWorld(t, 5)
+	d := sched.NewDriver(ghAsSched(procs)...)
+	const P2, P4 = 2, 4
+
+	// 1. P4 completes a full passage.
+	if !d.FinishPassage(P4) {
+		t.Fatal("P4's first passage did not complete")
+	}
+	// 2. P2 runs up to (but not including) its prev-write, then crashes.
+	if !d.StepUntilPC(P2, PCPrev) {
+		t.Fatal("P2 never reached the prev-write")
+	}
+	d.Crash(P2)
+	// 3–4. P2 restarts and enters IsLinkedTo (parked at its first scan).
+	if !d.StepUntilPC(P2, PCILNode) {
+		t.Fatal("P2 did not enter IsLinkedTo")
+	}
+	// 5. P4 starts another passage and crashes in the same window.
+	if !d.StepUntilPC(P4, PCPrev) {
+		t.Fatal("P4 never reached the prev-write")
+	}
+	d.Crash(P4)
+	// 6. P4 restarts and enters IsLinkedTo too.
+	if !d.StepUntilPC(P4, PCILNode) {
+		t.Fatal("P4 did not enter IsLinkedTo")
+	}
+
+	// 7. P2 scans until it blocks on P4's node; 8. P4 blocks on P2's node.
+	if !d.StepUntil(P2, func(sched.Proc) bool { return procs[P2].pc == PCILWait && procs[P2].il == P4 }) {
+		t.Fatal("P2 did not reach the wait on lnodes[4].prev")
+	}
+	if !d.StepUntil(P4, func(sched.Proc) bool { return procs[P4].pc == PCILWait && procs[P4].il == P2 }) {
+		t.Fatal("P4 did not reach the wait on lnodes[2].prev")
+	}
+	if lk.PeekPrev(lk.PeekLNode(P2)) != memsim.NilAddr || lk.PeekPrev(lk.PeekLNode(P4)) != memsim.NilAddr {
+		t.Fatal("setup broken: both prev fields should still be ⊥")
+	}
+
+	// 9. No further crashes: both processes must hang forever. Give the
+	// pair a large budget and require zero progress — the deadlock.
+	d.Budget = 200_000
+	progressed := d.RunConcurrently([]int{P2, P4}, func() bool {
+		return procs[P2].Passages() > 0 || procs[P2].Section() == sched.CS ||
+			procs[P4].Passages() > 1 || procs[P4].Section() == sched.CS
+	})
+	if progressed {
+		t.Fatal("GH did not deadlock; the Scenario 1 reconstruction is wrong")
+	}
+	if procs[P2].pc != PCILWait || procs[P4].pc != PCILWait {
+		t.Fatalf("expected both stuck in IsLinkedTo waits, got pcs %d and %d",
+			procs[P2].pc, procs[P4].pc)
+	}
+}
+
+// TestJJJSurvivesScenario1 runs the paper's algorithm under the analogous
+// schedule: two processes crash between the FAS and the Pred write, restart
+// and recover. Both must complete (starvation freedom), because line 18
+// writes &Crash unconditionally instead of scanning for FAS evidence.
+func TestJJJSurvivesScenario1(t *testing.T) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 5})
+	sh := core.NewShared(mem, core.Config{Ports: 5})
+	procs := make([]*core.Proc, 5)
+	for i := range procs {
+		procs[i] = core.NewProc(sh, i, i, 0)
+	}
+	sp := make([]sched.Proc, len(procs))
+	for i, p := range procs {
+		sp[i] = p
+	}
+	d := sched.NewDriver(sp...)
+	ck := core.NewChecker(sh, procs)
+	const P2, P4 = 2, 4
+
+	if !d.FinishPassage(P4) {
+		t.Fatal("P4's first passage did not complete")
+	}
+	if !d.StepUntilPC(P2, core.PCL14) { // crashed after FAS, before Pred write
+		t.Fatal("P2 never reached line 14")
+	}
+	d.Crash(P2)
+	if !d.StepUntilPC(P4, core.PCL14) {
+		t.Fatal("P4 never reached line 14")
+	}
+	d.Crash(P4)
+
+	// Both recover concurrently; both must finish a passage.
+	ok := d.RunConcurrently([]int{P2, P4}, func() bool {
+		if err := ck.Check(); err != nil {
+			t.Fatalf("invariant: %v", err)
+		}
+		return procs[P2].Passages() >= 1 && procs[P4].Passages() >= 2
+	})
+	if !ok {
+		t.Fatal("the paper's algorithm failed the Scenario 1 schedule")
+	}
+}
+
+// TestGHScenario2Starvation reproduces Appendix A.2: P2's stale repair
+// relation makes it adopt P5's node as predecessor concurrently with P6
+// doing the same, so P5's single next pointer wakes P2 and P6 starves.
+func TestGHScenario2Starvation(t *testing.T) {
+	_, lk, procs := newGHWorld(t, 7)
+	d := sched.NewDriver(ghAsSched(procs)...)
+	node := func(i int) memsim.Addr { return lk.PeekLNode(i) }
+
+	// 1. P0 into the CS (parked there).
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("P0 no CS")
+	}
+	// 2. P1 queues behind P0 and spins.
+	if !d.StepUntilPC(1, PCSpin) {
+		t.Fatal("P1 did not queue")
+	}
+	// 3. P2 FASes, crashes before its prev-write.
+	if !d.StepUntilPC(2, PCPrev) {
+		t.Fatal("P2 never reached the prev-write")
+	}
+	d.Crash(2)
+	// 4. P2 recovers; IsLinkedTo succeeds via the tail check; parked just
+	// before acquiring the recovery lock.
+	if !d.StepUntilPC(2, PCRLock) {
+		t.Fatal("P2's IsLinkedTo did not find FAS evidence")
+	}
+	// 5. P3 queues behind P2 (sets its prev) and spins.
+	if !d.StepUntilPC(3, PCSpin) {
+		t.Fatal("P3 did not queue")
+	}
+	// 6. P2 acquires the rlock and scans i = 0..3, then is interrupted.
+	if !d.StepUntil(2, func(sched.Proc) bool { return procs[2].pc == PCScanNode && procs[2].j == 4 }) {
+		t.Fatal("P2 did not scan the first four table entries")
+	}
+	if len(procs[2].r) != 3 { // (free,P0), (P0,P1), (P2,P3)+TAIL
+		t.Fatalf("R after first scan half = %d pairs, want 3", len(procs[2].r))
+	}
+	if !procs[2].r[2].tailMark {
+		t.Fatal("missing the (3, TAIL) mark of Appendix A")
+	}
+	// 7. P4 FASes behind P3 and crashes before its prev-write.
+	if !d.StepUntilPC(4, PCPrev) {
+		t.Fatal("P4 never reached the prev-write")
+	}
+	d.Crash(4)
+	// 8. P5 queues behind P4.
+	if !d.StepUntilPC(5, PCSpin) {
+		t.Fatal("P5 did not queue")
+	}
+	// 9–10. P2 resumes, finishes the scan ((4,5) joins R), stitches, and
+	// writes mynode.prev := P5's node (GH Line 93); parked before
+	// releasing the rlock.
+	if !d.StepUntilPC(2, PCUnRLock) {
+		t.Fatal("P2 did not finish its repair")
+	}
+	if got := lk.PeekPrev(node(2)); got != node(5) {
+		t.Fatalf("P2.prev = %d, want P5's node %d (the stale stitch)", got, node(5))
+	}
+	// 11–12. P6 FASes behind P5, sets prev = P5's node, links, spins.
+	if !d.StepUntilPC(6, PCSpin) {
+		t.Fatal("P6 did not queue")
+	}
+	// 13. P2 releases the rlock and links: P5.next := P2's node, clobbering
+	// P6's link.
+	if !d.StepUntilPC(2, PCSpin) {
+		t.Fatal("P2 did not reach its spin")
+	}
+
+	// The smoking gun: two distinct nodes share the same predecessor (the
+	// exact state the paper's invariant Condition 4 forbids).
+	if lk.PeekPrev(node(2)) != node(5) || lk.PeekPrev(node(6)) != node(5) {
+		t.Fatalf("expected duplicate predecessor on P5's node; got P2.prev=%d P6.prev=%d (P5=%d)",
+			lk.PeekPrev(node(2)), lk.PeekPrev(node(6)), node(5))
+	}
+
+	// 14. No more failures: P4 recovers, the queue drains — but P5 wakes P2
+	// instead of P6. Everyone up to P3 gets the CS; P6 starves forever.
+	everyoneElse := []int{0, 1, 2, 3, 4, 5}
+	sawCS := make(map[int]bool)
+	d.Budget = 400_000
+	drained := d.RunConcurrently(everyoneElse, func() bool {
+		for _, i := range everyoneElse {
+			if procs[i].Section() == sched.CS {
+				sawCS[i] = true
+			}
+		}
+		return len(sawCS) == len(everyoneElse)
+	})
+	if !drained {
+		t.Fatalf("queue did not drain to P3; CS seen: %v", sawCS)
+	}
+	// P6 alone gets a huge budget and still never enters the CS.
+	if d.StepUntilSection(6, sched.CS) {
+		t.Fatal("P6 entered the CS; Scenario 2 starvation not reproduced")
+	}
+	if procs[6].pc != PCSpin {
+		t.Fatalf("P6 should be spinning forever, is at pc %d", procs[6].pc)
+	}
+}
+
+// TestJJJSurvivesScenario2 drives the paper's algorithm through the
+// Scenario 2 shape: a repairing process whose scan is interleaved with new
+// arrivals and a second crash. The C4 invariant (no shared predecessors)
+// must hold throughout and everyone must complete.
+func TestJJJSurvivesScenario2(t *testing.T) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 7})
+	sh := core.NewShared(mem, core.Config{Ports: 7})
+	procs := make([]*core.Proc, 7)
+	for i := range procs {
+		procs[i] = core.NewProc(sh, i, i, 0)
+	}
+	sp := make([]sched.Proc, len(procs))
+	for i, p := range procs {
+		sp[i] = p
+	}
+	d := sched.NewDriver(sp...)
+	ck := core.NewChecker(sh, procs)
+
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("P0 no CS")
+	}
+	if !d.StepUntilPC(1, core.PCL25) {
+		t.Fatal("P1 did not queue")
+	}
+	if !d.StepUntilPC(2, core.PCL14) {
+		t.Fatal("P2 never reached line 14")
+	}
+	d.Crash(2)
+	// P2 recovers into the repair scan; interrupt it mid-scan (after the
+	// 4th table entry), exactly like the GH schedule.
+	if !d.StepUntilPC(2, core.PCL33) {
+		t.Fatal("P2 did not start the repair scan")
+	}
+	if !d.StepUntilPC(3, core.PCL25) {
+		t.Fatal("P3 did not queue")
+	}
+	if !d.StepUntil(2, func(sched.Proc) bool {
+		return procs[2].PC() == core.PCL33 && procs[2].Handle().ScanIndex() == 4
+	}) {
+		t.Fatal("P2 did not reach scan index 4")
+	}
+	if !d.StepUntilPC(4, core.PCL14) {
+		t.Fatal("P4 never reached line 14")
+	}
+	d.Crash(4)
+	if !d.StepUntilPC(5, core.PCL25) {
+		t.Fatal("P5 did not queue")
+	}
+	// P2 finishes its repair — it must either complete or wait on P4's
+	// NonNil signal (which P4's recovery satisfies). Run everyone with the
+	// invariant checked at every opportunity; all 7 must finish a passage.
+	all := []int{0, 1, 2, 3, 4, 5, 6}
+	ok := d.RunConcurrently(all, func() bool {
+		if err := ck.Check(); err != nil {
+			t.Fatalf("invariant: %v", err)
+		}
+		for _, p := range procs {
+			if p.Passages() < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("the paper's algorithm failed the Scenario 2 schedule")
+	}
+}

@@ -1,0 +1,180 @@
+// Package mcs implements the classic Mellor-Crummey–Scott queue lock [11]
+// as a step machine over the simulated memory. It is the non-recoverable
+// baseline the paper's construction starts from (§1.5): O(1) RMRs per
+// passage on CC and DSM, FIFO, local spinning — but a crash while holding
+// or waiting wedges the queue forever, which is precisely the problem the
+// recoverable algorithm solves.
+//
+// MCS needs FAS for the enqueue and CAS for the unlocked-release race; the
+// paper's algorithm, by contrast, needs only FAS.
+package mcs
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// Node field offsets: each process owns one permanent QNode (reused across
+// passages), homed in its partition so the spin is local on DSM.
+const (
+	offNext   = 0
+	offLocked = 1
+	nodeWords = 2
+)
+
+// Lock is the shared layout: the tail word plus per-process nodes.
+type Lock struct {
+	mem   *memsim.Memory
+	tail  memsim.Addr
+	nodes []memsim.Addr
+}
+
+// New allocates an MCS lock for n processes.
+func New(mem *memsim.Memory, n int) *Lock {
+	if n <= 0 {
+		panic("mcs: need at least one process")
+	}
+	l := &Lock{mem: mem, tail: mem.Alloc(memsim.HomeShared, 1)}
+	l.nodes = make([]memsim.Addr, n)
+	for i := range l.nodes {
+		l.nodes[i] = mem.Alloc(i, nodeWords)
+	}
+	return l
+}
+
+// Program counters.
+const (
+	pcRemainder = iota
+	pcResetNext // mynode.next := nil; mynode.locked := 1 is deferred
+	pcFAS       // pred := FAS(tail, mynode)
+	pcSetLocked // mynode.locked := 1
+	pcLinkPred  // pred.next := mynode
+	pcSpin      // await mynode.locked == 0
+	pcCS
+	pcReadNext // next := mynode.next
+	pcCASTail  // CAS(tail, mynode, nil)
+	pcSpinNext // await mynode.next != nil
+	pcWakeNext // next.locked := 0
+)
+
+// Proc is a sched.Proc cycling through the MCS lock.
+type Proc struct {
+	id    int
+	mem   *memsim.Memory
+	lk    *Lock
+	pc    int
+	dwell int
+	left  int
+
+	pred memsim.Addr
+	next memsim.Addr
+
+	passages uint64
+}
+
+// NewProc builds the client for process id.
+func NewProc(mem *memsim.Memory, lk *Lock, id, dwell int) *Proc {
+	if id < 0 || id >= len(lk.nodes) {
+		panic(fmt.Sprintf("mcs: proc %d out of range", id))
+	}
+	return &Proc{id: id, mem: mem, lk: lk, dwell: dwell}
+}
+
+// ID implements sched.Proc.
+func (p *Proc) ID() int { return p.id }
+
+// PC implements sched.PCer.
+func (p *Proc) PC() int { return p.pc }
+
+// Section implements sched.Proc.
+func (p *Proc) Section() sched.Section {
+	switch p.pc {
+	case pcRemainder:
+		return sched.Remainder
+	case pcCS:
+		return sched.CS
+	case pcReadNext, pcCASTail, pcSpinNext, pcWakeNext:
+		return sched.Exit
+	default:
+		return sched.Try
+	}
+}
+
+// Passages implements sched.Proc.
+func (p *Proc) Passages() uint64 { return p.passages }
+
+func (p *Proc) node() memsim.Addr { return p.lk.nodes[p.id] }
+
+// Step implements sched.Proc.
+func (p *Proc) Step() {
+	mem := p.mem
+	switch p.pc {
+	case pcRemainder:
+		p.pc = pcResetNext
+	case pcResetNext:
+		mem.Write(p.id, p.node()+offNext, 0)
+		p.pc = pcFAS
+	case pcFAS:
+		p.pred = memsim.Addr(mem.FAS(p.id, p.lk.tail, memsim.Word(p.node())))
+		if p.pred == memsim.NilAddr {
+			p.pc = pcCS
+			p.left = p.dwell
+		} else {
+			p.pc = pcSetLocked
+		}
+	case pcSetLocked:
+		mem.Write(p.id, p.node()+offLocked, 1)
+		p.pc = pcLinkPred
+	case pcLinkPred:
+		mem.Write(p.id, p.pred+offNext, memsim.Word(p.node()))
+		p.pc = pcSpin
+	case pcSpin:
+		if mem.Read(p.id, p.node()+offLocked) == 0 {
+			p.pc = pcCS
+			p.left = p.dwell
+		}
+	case pcCS:
+		if p.left > 0 {
+			p.left--
+			mem.LocalStep(p.id)
+			return
+		}
+		p.pc = pcReadNext
+	case pcReadNext:
+		p.next = memsim.Addr(mem.Read(p.id, p.node()+offNext))
+		if p.next != memsim.NilAddr {
+			p.pc = pcWakeNext
+		} else {
+			p.pc = pcCASTail
+		}
+	case pcCASTail:
+		if _, ok := mem.CAS(p.id, p.lk.tail, memsim.Word(p.node()), 0); ok {
+			p.passages++
+			p.pc = pcRemainder
+		} else {
+			p.pc = pcSpinNext
+		}
+	case pcSpinNext:
+		p.next = memsim.Addr(mem.Read(p.id, p.node()+offNext))
+		if p.next != memsim.NilAddr {
+			p.pc = pcWakeNext
+		}
+	case pcWakeNext:
+		mem.Write(p.id, p.next+offLocked, 0)
+		p.passages++
+		p.pc = pcRemainder
+	}
+}
+
+// Crash implements sched.Proc. MCS is not recoverable: the crashed process
+// restarts from Remainder with its registers wiped, and any queue state it
+// left behind (a held lock, a half-linked node) stays broken. Tests use
+// this to demonstrate why the paper's problem statement exists.
+func (p *Proc) Crash() {
+	p.pc = pcRemainder
+	p.pred, p.next = 0, 0
+	p.left = 0
+	p.mem.CrashProcess(p.id)
+}

@@ -1,0 +1,147 @@
+package mcs
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func newWorld(t testing.TB, model memsim.Model, n, dwell int) (*memsim.Memory, []sched.Proc) {
+	t.Helper()
+	mem := memsim.New(memsim.Config{Model: model, Procs: n})
+	lk := New(mem, n)
+	procs := make([]sched.Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = NewProc(mem, lk, i, dwell)
+	}
+	return mem, procs
+}
+
+func countCS(procs []sched.Proc) int {
+	n := 0
+	for _, p := range procs {
+		if p.Section() == sched.CS {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+			t.Run(fmt.Sprintf("n%d_%s", n, model), func(t *testing.T) {
+				_, procs := newWorld(t, model, n, 1)
+				violated := false
+				r := &sched.Runner{
+					Procs:    procs,
+					Sched:    sched.Random{Src: xrand.New(uint64(n) * 7)},
+					OnStep:   func(sched.StepEvent) { violated = violated || countCS(procs) > 1 },
+					StopWhen: sched.AllPassagesAtLeast(procs, 20),
+				}
+				if err := r.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if violated {
+					t.Fatal("mutual exclusion violated")
+				}
+			})
+		}
+	}
+}
+
+func TestFIFOOrderUnderRoundRobin(t *testing.T) {
+	// With round-robin scheduling and a long CS, waiters are served in
+	// arrival order.
+	_, procs := newWorld(t, memsim.DSM, 4, 0)
+	d := sched.NewDriver(procs...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	for id := 1; id < 4; id++ {
+		d.Step(id, 10) // enqueue in id order
+	}
+	var order []int
+	for len(order) < 3 {
+		for id := 0; id < 4; id++ {
+			d.Step(id, 1)
+		}
+		for id := 1; id < 4; id++ {
+			if procs[id].Section() == sched.CS {
+				dup := false
+				for _, o := range order {
+					dup = dup || o == id
+				}
+				if !dup {
+					order = append(order, id)
+				}
+			}
+		}
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRMRConstant(t *testing.T) {
+	const envelope = 12.0
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		for _, n := range []int{2, 8, 32} {
+			mem, procs := newWorld(t, model, n, 0)
+			r := &sched.Runner{
+				Procs:    procs,
+				Sched:    sched.Random{Src: xrand.New(uint64(n))},
+				StopWhen: sched.AllPassagesAtLeast(procs, 15),
+			}
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range procs {
+				per := float64(mem.Stats(i).RMRs) / float64(p.Passages())
+				if per > envelope {
+					t.Errorf("%s n=%d proc %d: %.1f RMRs/passage (want O(1) <= %.0f)",
+						model, n, i, per, envelope)
+				}
+			}
+		}
+	}
+}
+
+func TestSpinIsLocalOnDSM(t *testing.T) {
+	mem, procs := newWorld(t, memsim.DSM, 2, 0)
+	d := sched.NewDriver(procs...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	d.Step(1, 10)
+	before := mem.Stats(1).RMRs
+	d.Step(1, 3000)
+	if after := mem.Stats(1).RMRs; after != before {
+		t.Fatalf("MCS spin cost %d RMRs on DSM, want 0", after-before)
+	}
+}
+
+func TestCrashWedgesTheLock(t *testing.T) {
+	// The motivating failure: a crash of the CS holder permanently wedges
+	// MCS — every later arrival starves. (The recoverable algorithm exists
+	// because of exactly this.)
+	_, procs := newWorld(t, memsim.DSM, 3, 0)
+	d := sched.NewDriver(procs...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	d.Crash(0)
+	d.Budget = 50_000
+	progressed := d.RunConcurrently([]int{0, 1, 2}, func() bool {
+		return procs[1].Passages()+procs[2].Passages() > 0
+	})
+	if progressed {
+		t.Fatal("MCS made progress after a holder crash; baseline is wrong")
+	}
+}

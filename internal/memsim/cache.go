@@ -1,0 +1,60 @@
+package memsim
+
+// cache models one process's cache in the CC machine: a set of resident
+// word addresses with optional capacity and LRU eviction.
+//
+// Only residency is modeled, not values: in the paper's CC model a cached
+// copy can never be stale, because any write to the word invalidates all
+// copies atomically with the write. Residency alone decides whether a read
+// is an RMR.
+type cache struct {
+	capacity int // 0 = unbounded
+	tick     uint64
+	resident map[Addr]uint64 // addr -> last-use tick
+}
+
+func (c *cache) init(capacity int) {
+	c.capacity = capacity
+	c.resident = make(map[Addr]uint64)
+}
+
+func (c *cache) size() int { return len(c.resident) }
+
+func (c *cache) contains(a Addr) bool {
+	_, ok := c.resident[a]
+	return ok
+}
+
+func (c *cache) touch(a Addr) {
+	c.tick++
+	c.resident[a] = c.tick
+}
+
+// insert makes a resident, evicting the least-recently-used word when the
+// capacity bound is hit. Capacities are small in every experiment, so the
+// linear eviction scan is deliberate simplicity rather than an oversight.
+func (c *cache) insert(a Addr) {
+	if c.capacity > 0 && len(c.resident) >= c.capacity {
+		var (
+			victim   Addr
+			earliest uint64
+			first    = true
+		)
+		for addr, t := range c.resident {
+			if first || t < earliest {
+				victim, earliest, first = addr, t, false
+			}
+		}
+		delete(c.resident, victim)
+	}
+	c.tick++
+	c.resident[a] = c.tick
+}
+
+func (c *cache) invalidate(a Addr) {
+	delete(c.resident, a)
+}
+
+func (c *cache) clear() {
+	clear(c.resident)
+}

@@ -1,0 +1,433 @@
+// Package memsim simulates the shared-memory multiprocessor of the paper's
+// model (§1.1, §1.3): asynchronous processes operating on words of
+// non-volatile main memory, with remote-memory-reference (RMR) accounting
+// for both machine models the paper analyses:
+//
+//   - CC (cache-coherent): every process has a cache. A read of word X
+//     fetches a copy of X into the reader's cache if not already present.
+//     Any non-read operation on X, by any process, invalidates every cached
+//     copy of X. An operation by process p on X counts as an RMR iff it is a
+//     non-read operation or X is not in p's cache. A crash clears the
+//     crashed process's cache.
+//
+//   - DSM (distributed shared memory): memory is partitioned, each word has
+//     a home partition. Any operation by p on X counts as an RMR iff X does
+//     not reside in p's partition.
+//
+// The simulator is the measurement substrate for every experiment in
+// EXPERIMENTS.md: counting operations in this model is the paper's
+// complexity metric, so no further calibration is needed.
+//
+// Supported atomic primitives are read, write, FAS (fetch-and-store) and CAS
+// (compare-and-swap). The paper's algorithm needs only FAS; CAS exists for
+// the Golab–Hendler baseline.
+package memsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Word is the unit of simulated shared memory. Pointers between simulated
+// objects are represented as Addr values stored in Words.
+type Word int64
+
+// Addr indexes a word of simulated memory. Addr 0 is reserved and never
+// allocated, so it can represent NIL pointers.
+type Addr int32
+
+// NilAddr is the reserved null address.
+const NilAddr Addr = 0
+
+// HomeShared marks a word whose home partition belongs to no process: on a
+// DSM machine every access to it is remote. Globals such as the paper's
+// Tail pointer and Node array live in this region.
+const HomeShared = -1
+
+// Model selects the machine model used for RMR accounting.
+type Model uint8
+
+const (
+	// CC is the cache-coherent model.
+	CC Model = iota + 1
+	// DSM is the distributed-shared-memory model.
+	DSM
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case CC:
+		return "CC"
+	case DSM:
+		return "DSM"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// OpKind identifies the primitive applied in a traced operation.
+type OpKind uint8
+
+// The operation kinds recorded by tracers.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpFAS
+	OpCAS
+)
+
+// String returns the mnemonic of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFAS:
+		return "FAS"
+	case OpCAS:
+		return "CAS"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op describes one executed shared-memory operation, for tracers.
+type Op struct {
+	Proc int
+	Kind OpKind
+	Addr Addr
+	// Old is the value of the word before the operation; New the value
+	// after. For reads Old == New.
+	Old, New Word
+	// RMR reports whether the operation was counted as remote.
+	RMR bool
+}
+
+// ProcStats accumulates per-process accounting.
+type ProcStats struct {
+	Ops    uint64 // shared-memory operations issued
+	RMRs   uint64 // operations counted as remote
+	Reads  uint64
+	Writes uint64
+	FASs   uint64
+	CASs   uint64
+	// LocalSteps counts pure local computation steps (no shared access),
+	// charged explicitly by algorithms via Memory.LocalStep. Used by the
+	// shallow-vs-deep exploration ablation (experiment E9).
+	LocalSteps uint64
+	// CacheHighWater is the maximum number of distinct words simultaneously
+	// resident in the process's cache (CC only). The paper claims the
+	// algorithm needs only O(1) cached words per process (§1.4 item 2).
+	CacheHighWater int
+}
+
+// Config configures a Memory.
+type Config struct {
+	// Model selects CC or DSM accounting.
+	Model Model
+	// Procs is the number of processes that may issue operations.
+	Procs int
+	// CacheCapacity bounds each CC cache to that many words; 0 means
+	// unbounded. On overflow the least-recently-used word is evicted.
+	// Ignored under DSM.
+	CacheCapacity int
+}
+
+// Memory is a simulated non-volatile shared memory. It is not safe for
+// concurrent use: the scheduler (internal/sched) serializes steps, which is
+// exactly the interleaving semantics of the paper's model.
+type Memory struct {
+	model    Model
+	capacity int
+	words    []Word
+	home     []int32
+	caches   []cache
+	stats    []ProcStats
+	tracer   func(Op)
+}
+
+// New creates a Memory per cfg. Word 0 is pre-allocated and reserved so that
+// Addr 0 can serve as NIL.
+func New(cfg Config) *Memory {
+	if cfg.Model != CC && cfg.Model != DSM {
+		panic("memsim: config must select CC or DSM")
+	}
+	if cfg.Procs <= 0 {
+		panic("memsim: config needs at least one process")
+	}
+	m := &Memory{
+		model:    cfg.Model,
+		capacity: cfg.CacheCapacity,
+		words:    make([]Word, 1, 1024),
+		home:     make([]int32, 1, 1024),
+		stats:    make([]ProcStats, cfg.Procs),
+	}
+	m.home[0] = HomeShared
+	if cfg.Model == CC {
+		m.caches = make([]cache, cfg.Procs)
+		for i := range m.caches {
+			m.caches[i].init(cfg.CacheCapacity)
+		}
+	}
+	return m
+}
+
+// Model returns the machine model of m.
+func (m *Memory) Model() Model { return m.model }
+
+// Procs returns the number of processes m was configured for.
+func (m *Memory) Procs() int { return len(m.stats) }
+
+// Size returns the number of allocated words (including the reserved NIL
+// word).
+func (m *Memory) Size() int { return len(m.words) }
+
+// SetTracer installs fn to observe every shared-memory operation; nil
+// removes the tracer.
+func (m *Memory) SetTracer(fn func(Op)) { m.tracer = fn }
+
+// Alloc reserves n fresh zeroed words homed in owner's partition (or
+// HomeShared) and returns the address of the first. Allocation itself is not
+// charged as shared-memory operations: in the paper's model "new QNode"
+// (line 11) is a local step whose cost is charged separately by the
+// algorithm.
+func (m *Memory) Alloc(owner int, n int) Addr {
+	if n <= 0 {
+		panic("memsim: Alloc with non-positive size")
+	}
+	if owner != HomeShared && (owner < 0 || owner >= len(m.stats)) {
+		panic(fmt.Sprintf("memsim: Alloc owner %d out of range", owner))
+	}
+	base := Addr(len(m.words))
+	for i := 0; i < n; i++ {
+		m.words = append(m.words, 0)
+		m.home = append(m.home, int32(owner))
+	}
+	return base
+}
+
+// Home returns the partition owner of a (HomeShared for the global region).
+func (m *Memory) Home(a Addr) int {
+	m.check(a)
+	return int(m.home[a])
+}
+
+func (m *Memory) check(a Addr) {
+	if a <= 0 || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("memsim: address %d out of range (size %d)", a, len(m.words)))
+	}
+}
+
+func (m *Memory) checkProc(p int) {
+	if p < 0 || p >= len(m.stats) {
+		panic(fmt.Sprintf("memsim: process %d out of range (procs %d)", p, len(m.stats)))
+	}
+}
+
+// remote reports whether an operation of kind k by p on a is an RMR, and
+// updates cache state under CC.
+func (m *Memory) remote(p int, a Addr, k OpKind) bool {
+	if m.model == DSM {
+		return int(m.home[a]) != p
+	}
+	// CC model.
+	if k == OpRead {
+		c := &m.caches[p]
+		if c.contains(a) {
+			c.touch(a)
+			return false
+		}
+		c.insert(a)
+		if c.size() > m.stats[p].CacheHighWater {
+			m.stats[p].CacheHighWater = c.size()
+		}
+		return true
+	}
+	// Non-read: invalidate every copy, count as remote.
+	for i := range m.caches {
+		m.caches[i].invalidate(a)
+	}
+	return true
+}
+
+func (m *Memory) account(p int, k OpKind, rmr bool) {
+	s := &m.stats[p]
+	s.Ops++
+	if rmr {
+		s.RMRs++
+	}
+	switch k {
+	case OpRead:
+		s.Reads++
+	case OpWrite:
+		s.Writes++
+	case OpFAS:
+		s.FASs++
+	case OpCAS:
+		s.CASs++
+	}
+}
+
+func (m *Memory) trace(p int, k OpKind, a Addr, old, new Word, rmr bool) {
+	if m.tracer != nil {
+		m.tracer(Op{Proc: p, Kind: k, Addr: a, Old: old, New: new, RMR: rmr})
+	}
+}
+
+// Read returns the value of a, charging p per the machine model.
+func (m *Memory) Read(p int, a Addr) Word {
+	m.checkProc(p)
+	m.check(a)
+	rmr := m.remote(p, a, OpRead)
+	m.account(p, OpRead, rmr)
+	v := m.words[a]
+	m.trace(p, OpRead, a, v, v, rmr)
+	return v
+}
+
+// Write stores v into a, charging p per the machine model.
+func (m *Memory) Write(p int, a Addr, v Word) {
+	m.checkProc(p)
+	m.check(a)
+	rmr := m.remote(p, a, OpWrite)
+	m.account(p, OpWrite, rmr)
+	old := m.words[a]
+	m.words[a] = v
+	m.trace(p, OpWrite, a, old, v, rmr)
+}
+
+// FAS atomically stores v into a and returns a's previous value
+// (fetch-and-store, the only read-modify-write the paper's algorithm needs).
+func (m *Memory) FAS(p int, a Addr, v Word) Word {
+	m.checkProc(p)
+	m.check(a)
+	rmr := m.remote(p, a, OpFAS)
+	m.account(p, OpFAS, rmr)
+	old := m.words[a]
+	m.words[a] = v
+	m.trace(p, OpFAS, a, old, v, rmr)
+	return old
+}
+
+// CAS atomically replaces a's value with new iff it equals old, returning
+// the previous value and whether the swap happened. Present only for the
+// Golab–Hendler baseline; the paper's algorithm does not use it.
+func (m *Memory) CAS(p int, a Addr, old, new Word) (Word, bool) {
+	m.checkProc(p)
+	m.check(a)
+	rmr := m.remote(p, a, OpCAS)
+	m.account(p, OpCAS, rmr)
+	prev := m.words[a]
+	swapped := prev == old
+	if swapped {
+		m.words[a] = new
+	}
+	m.trace(p, OpCAS, a, prev, m.words[a], rmr)
+	return prev, swapped
+}
+
+// LocalStep charges one pure local computation step to p. Local steps never
+// count as RMRs; they exist so the shallow-vs-deep repair ablation can
+// compare local work (experiment E9).
+func (m *Memory) LocalStep(p int) {
+	m.checkProc(p)
+	m.stats[p].LocalSteps++
+}
+
+// LocalSteps charges n local steps to p.
+func (m *Memory) LocalSteps(p int, n int) {
+	m.checkProc(p)
+	if n < 0 {
+		panic("memsim: negative local step count")
+	}
+	m.stats[p].LocalSteps += uint64(n)
+}
+
+// CrashProcess models the memory-system effect of a crash of p: under CC the
+// cache contents are lost (§1.3). NVRAM words are unaffected.
+func (m *Memory) CrashProcess(p int) {
+	m.checkProc(p)
+	if m.model == CC {
+		m.caches[p].clear()
+	}
+}
+
+// Stats returns a copy of p's accounting.
+func (m *Memory) Stats(p int) ProcStats {
+	m.checkProc(p)
+	return m.stats[p]
+}
+
+// TotalRMRs returns the sum of RMR counts over all processes.
+func (m *Memory) TotalRMRs() uint64 {
+	var sum uint64
+	for i := range m.stats {
+		sum += m.stats[i].RMRs
+	}
+	return sum
+}
+
+// ResetStats zeroes all per-process counters (cache contents are kept; the
+// warm cache is part of the machine state, not of the measurement).
+func (m *Memory) ResetStats() {
+	for i := range m.stats {
+		m.stats[i] = ProcStats{}
+		if m.model == CC {
+			// High-water restarts from the current residency.
+			m.stats[i].CacheHighWater = m.caches[i].size()
+		}
+	}
+}
+
+// Peek reads a without accounting. For checkers and tests only; algorithm
+// code must use Read.
+func (m *Memory) Peek(a Addr) Word {
+	m.check(a)
+	return m.words[a]
+}
+
+// Poke writes a without accounting. For test setup only.
+func (m *Memory) Poke(a Addr, v Word) {
+	m.check(a)
+	m.words[a] = v
+}
+
+// Snapshot returns a copy of all memory words. Together with the machines'
+// own snapshots it supports exhaustive model checking. Cache contents are
+// deliberately excluded: they influence only accounting, never values, so
+// they are not part of the safety-relevant state.
+func (m *Memory) Snapshot() []Word {
+	s := make([]Word, len(m.words))
+	copy(s, m.words)
+	return s
+}
+
+// Restore replaces memory contents with a snapshot previously returned by
+// Snapshot on the same Memory (sizes must match: restoring across
+// allocations is not meaningful).
+func (m *Memory) Restore(s []Word) {
+	if len(s) != len(m.words) {
+		panic(fmt.Sprintf("memsim: snapshot size %d does not match memory size %d", len(s), len(m.words)))
+	}
+	copy(m.words, s)
+}
+
+// Dump renders a compact listing of non-zero words, for test failure
+// diagnostics.
+func (m *Memory) Dump() string {
+	var b strings.Builder
+	var addrs []int
+	for a := 1; a < len(m.words); a++ {
+		if m.words[a] != 0 {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		fmt.Fprintf(&b, "[%4d home=%2d] = %d\n", a, m.home[a], m.words[a])
+	}
+	return b.String()
+}

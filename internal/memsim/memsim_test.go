@@ -1,0 +1,380 @@
+package memsim
+
+import (
+	"testing"
+
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func newCC(t *testing.T, procs, capacity int) *Memory {
+	t.Helper()
+	return New(Config{Model: CC, Procs: procs, CacheCapacity: capacity})
+}
+
+func newDSM(t *testing.T, procs int) *Memory {
+	t.Helper()
+	return New(Config{Model: DSM, Procs: procs})
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero model", Config{Procs: 1}},
+		{"zero procs", Config{Model: CC}},
+		{"negative procs", Config{Model: DSM, Procs: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", tt.cfg)
+				}
+			}()
+			New(tt.cfg)
+		})
+	}
+}
+
+func TestAllocReservesNil(t *testing.T) {
+	m := newDSM(t, 2)
+	a := m.Alloc(0, 3)
+	if a == NilAddr {
+		t.Fatalf("first allocation returned the NIL address")
+	}
+	if a != 1 {
+		t.Fatalf("first allocation at %d, want 1", a)
+	}
+	b := m.Alloc(1, 1)
+	if b != 4 {
+		t.Fatalf("second allocation at %d, want 4", b)
+	}
+	if m.Home(a) != 0 || m.Home(b) != 1 {
+		t.Fatalf("homes wrong: %d %d", m.Home(a), m.Home(b))
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	for _, model := range []Model{CC, DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			m := New(Config{Model: model, Procs: 2})
+			a := m.Alloc(0, 1)
+			m.Write(0, a, 42)
+			if got := m.Read(1, a); got != 42 {
+				t.Fatalf("read %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestFASSemantics(t *testing.T) {
+	m := newDSM(t, 2)
+	a := m.Alloc(HomeShared, 1)
+	m.Write(0, a, 7)
+	old := m.FAS(1, a, 9)
+	if old != 7 {
+		t.Fatalf("FAS returned %d, want 7", old)
+	}
+	if got := m.Peek(a); got != 9 {
+		t.Fatalf("after FAS value %d, want 9", got)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := newDSM(t, 1)
+	a := m.Alloc(HomeShared, 1)
+	m.Write(0, a, 5)
+
+	if prev, ok := m.CAS(0, a, 4, 10); ok || prev != 5 {
+		t.Fatalf("CAS mismatched but swapped: prev=%d ok=%v", prev, ok)
+	}
+	if got := m.Peek(a); got != 5 {
+		t.Fatalf("failed CAS changed value to %d", got)
+	}
+	if prev, ok := m.CAS(0, a, 5, 10); !ok || prev != 5 {
+		t.Fatalf("CAS matched but did not swap: prev=%d ok=%v", prev, ok)
+	}
+	if got := m.Peek(a); got != 10 {
+		t.Fatalf("after CAS value %d, want 10", got)
+	}
+}
+
+func TestDSMAccounting(t *testing.T) {
+	m := newDSM(t, 2)
+	own := m.Alloc(0, 1)
+	other := m.Alloc(1, 1)
+	shared := m.Alloc(HomeShared, 1)
+
+	m.Read(0, own)       // local
+	m.Write(0, own, 0)   // local
+	m.Read(0, other)     // remote
+	m.Write(0, other, 0) // remote
+	m.FAS(0, shared, 1)  // remote: shared region is home to nobody
+
+	s := m.Stats(0)
+	if s.Ops != 5 {
+		t.Fatalf("ops = %d, want 5", s.Ops)
+	}
+	if s.RMRs != 3 {
+		t.Fatalf("DSM RMRs = %d, want 3", s.RMRs)
+	}
+}
+
+func TestCCReadCachesAndWriteInvalidates(t *testing.T) {
+	m := newCC(t, 2, 0)
+	a := m.Alloc(HomeShared, 1)
+
+	m.Read(0, a) // miss: RMR, fills cache
+	m.Read(0, a) // hit: no RMR
+	m.Read(0, a) // hit
+	if s := m.Stats(0); s.RMRs != 1 {
+		t.Fatalf("after cached reads RMRs = %d, want 1", s.RMRs)
+	}
+
+	m.Write(1, a, 5) // invalidates p0's copy, RMR for p1
+	m.Read(0, a)     // miss again
+	if s := m.Stats(0); s.RMRs != 2 {
+		t.Fatalf("after invalidation RMRs = %d, want 2", s.RMRs)
+	}
+	if s := m.Stats(1); s.RMRs != 1 {
+		t.Fatalf("writer RMRs = %d, want 1", s.RMRs)
+	}
+}
+
+func TestCCNonReadAlwaysRMR(t *testing.T) {
+	m := newCC(t, 1, 0)
+	a := m.Alloc(HomeShared, 1)
+	m.Read(0, a)
+	m.Write(0, a, 1) // non-read: RMR even though a was cached
+	m.FAS(0, a, 2)
+	m.CAS(0, a, 2, 3)
+	if s := m.Stats(0); s.RMRs != 4 {
+		t.Fatalf("RMRs = %d, want 4 (miss + 3 non-reads)", s.RMRs)
+	}
+}
+
+func TestCCWriterLosesOwnCopy(t *testing.T) {
+	// The paper's model says a non-read invalidates copies at ALL caches;
+	// the writer does not retain a copy either, so its next read misses.
+	m := newCC(t, 1, 0)
+	a := m.Alloc(HomeShared, 1)
+	m.Read(0, a)     // miss
+	m.Write(0, a, 1) // invalidates own copy
+	m.Read(0, a)     // miss again
+	if s := m.Stats(0); s.RMRs != 3 {
+		t.Fatalf("RMRs = %d, want 3", s.RMRs)
+	}
+}
+
+func TestCCCrashClearsCache(t *testing.T) {
+	m := newCC(t, 1, 0)
+	a := m.Alloc(HomeShared, 1)
+	m.Read(0, a)
+	m.CrashProcess(0)
+	m.Read(0, a) // cold again after crash
+	if s := m.Stats(0); s.RMRs != 2 {
+		t.Fatalf("RMRs = %d, want 2", s.RMRs)
+	}
+}
+
+func TestDSMCrashKeepsMemory(t *testing.T) {
+	m := newDSM(t, 1)
+	a := m.Alloc(0, 1)
+	m.Write(0, a, 77)
+	m.CrashProcess(0)
+	if got := m.Peek(a); got != 77 {
+		t.Fatalf("NVRAM lost value on crash: %d", got)
+	}
+}
+
+func TestCacheCapacityLRUEviction(t *testing.T) {
+	m := newCC(t, 1, 2)
+	a := m.Alloc(HomeShared, 1)
+	b := m.Alloc(HomeShared, 1)
+	c := m.Alloc(HomeShared, 1)
+
+	m.Read(0, a) // cache: {a}
+	m.Read(0, b) // cache: {a,b}
+	m.Read(0, a) // touch a, so b is LRU
+	m.Read(0, c) // evicts b; cache: {a,c}
+	m.Read(0, a) // hit
+	m.Read(0, b) // miss (evicted)
+	s := m.Stats(0)
+	if s.RMRs != 4 {
+		t.Fatalf("RMRs = %d, want 4 (a,b,c misses + b re-miss)", s.RMRs)
+	}
+	if s.CacheHighWater != 2 {
+		t.Fatalf("high water = %d, want 2", s.CacheHighWater)
+	}
+}
+
+func TestCacheHighWaterUnbounded(t *testing.T) {
+	m := newCC(t, 1, 0)
+	for i := 0; i < 10; i++ {
+		a := m.Alloc(HomeShared, 1)
+		m.Read(0, a)
+	}
+	if hw := m.Stats(0).CacheHighWater; hw != 10 {
+		t.Fatalf("high water = %d, want 10", hw)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	m := newDSM(t, 2)
+	a := m.Alloc(0, 1)
+	var ops []Op
+	m.SetTracer(func(op Op) { ops = append(ops, op) })
+	m.Write(1, a, 3)
+	m.Read(0, a)
+	m.SetTracer(nil)
+	m.Read(0, a)
+
+	if len(ops) != 2 {
+		t.Fatalf("traced %d ops, want 2", len(ops))
+	}
+	w := ops[0]
+	if w.Kind != OpWrite || w.Proc != 1 || w.New != 3 || !w.RMR {
+		t.Fatalf("unexpected write trace %+v", w)
+	}
+	r := ops[1]
+	if r.Kind != OpRead || r.Proc != 0 || r.Old != 3 || r.RMR {
+		t.Fatalf("unexpected read trace %+v", r)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := newDSM(t, 1)
+	a := m.Alloc(0, 2)
+	m.Write(0, a, 1)
+	m.Write(0, a+1, 2)
+	snap := m.Snapshot()
+	m.Write(0, a, 100)
+	m.Restore(snap)
+	if m.Peek(a) != 1 || m.Peek(a+1) != 2 {
+		t.Fatalf("restore did not bring back values: %d %d", m.Peek(a), m.Peek(a+1))
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := newCC(t, 1, 0)
+	a := m.Alloc(HomeShared, 1)
+	m.Read(0, a)
+	m.ResetStats()
+	s := m.Stats(0)
+	if s.Ops != 0 || s.RMRs != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	if s.CacheHighWater != 1 {
+		t.Fatalf("high water should restart from current residency 1, got %d", s.CacheHighWater)
+	}
+	m.Read(0, a) // still cached: no RMR
+	if s := m.Stats(0); s.RMRs != 0 {
+		t.Fatalf("warm cache lost across ResetStats: %+v", s)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := newDSM(t, 1)
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"read nil", func() { m.Read(0, NilAddr) }},
+		{"read unallocated", func() { m.Read(0, 99) }},
+		{"bad proc", func() { a := m.Alloc(0, 1); m.Read(5, a) }},
+		{"alloc zero", func() { m.Alloc(0, 0) }},
+		{"alloc bad owner", func() { m.Alloc(7, 1) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+// refModel is an independent, naive implementation of the paper's RMR rules
+// used to cross-check Memory on random operation sequences.
+type refModel struct {
+	model  Model
+	home   map[Addr]int
+	cached map[int]map[Addr]bool
+}
+
+func (r *refModel) isRMR(p int, a Addr, kind OpKind) bool {
+	if r.model == DSM {
+		return r.home[a] != p
+	}
+	if kind == OpRead {
+		if r.cached[p][a] {
+			return false
+		}
+		r.cached[p][a] = true
+		return true
+	}
+	for _, c := range r.cached {
+		delete(c, a)
+	}
+	return true
+}
+
+func TestRandomOpsAgainstReferenceModel(t *testing.T) {
+	for _, model := range []Model{CC, DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			const procs, words, steps = 4, 16, 4000
+			rng := xrand.New(uint64(model) * 977)
+			m := New(Config{Model: model, Procs: procs})
+			ref := &refModel{model: model, home: map[Addr]int{}, cached: map[int]map[Addr]bool{}}
+			for p := 0; p < procs; p++ {
+				ref.cached[p] = map[Addr]bool{}
+			}
+			addrs := make([]Addr, words)
+			for i := range addrs {
+				owner := rng.Intn(procs+1) - 1 // -1 = shared
+				addrs[i] = m.Alloc(owner, 1)
+				ref.home[addrs[i]] = owner
+			}
+			var wantRMR [procs]uint64
+			m.SetTracer(func(op Op) {
+				// Cross-check the trace flag against accounting later.
+			})
+			for i := 0; i < steps; i++ {
+				p := rng.Intn(procs)
+				a := addrs[rng.Intn(words)]
+				kind := OpKind(1 + rng.Intn(4))
+				var rmr bool
+				switch kind {
+				case OpRead:
+					rmr = ref.isRMR(p, a, kind)
+					m.Read(p, a)
+				case OpWrite:
+					rmr = ref.isRMR(p, a, kind)
+					m.Write(p, a, Word(i))
+				case OpFAS:
+					rmr = ref.isRMR(p, a, kind)
+					m.FAS(p, a, Word(i))
+				case OpCAS:
+					rmr = ref.isRMR(p, a, kind)
+					m.CAS(p, a, Word(i), Word(i+1))
+				}
+				if rmr {
+					wantRMR[p]++
+				}
+				if rng.Intn(100) == 0 {
+					m.CrashProcess(p)
+					ref.cached[p] = map[Addr]bool{}
+				}
+			}
+			for p := 0; p < procs; p++ {
+				if got := m.Stats(p).RMRs; got != wantRMR[p] {
+					t.Fatalf("proc %d: RMRs = %d, reference says %d", p, got, wantRMR[p])
+				}
+			}
+		})
+	}
+}

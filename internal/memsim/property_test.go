@@ -1,0 +1,138 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// Property-based tests (testing/quick) for the cost-model invariants every
+// higher layer relies on.
+
+// TestQuickCCSecondReadIsFree: on a CC machine, two consecutive reads of
+// the same word by the same process with no intervening non-read on that
+// word cost exactly one RMR (the miss), never two.
+func TestQuickCCSecondReadIsFree(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := New(Config{Model: CC, Procs: 2})
+		words := make([]Addr, 4)
+		for i := range words {
+			words[i] = m.Alloc(HomeShared, 1)
+		}
+		// Random noise from process 1 on OTHER words only.
+		target := words[rng.Intn(len(words))]
+		m.Read(0, target)
+		for i := 0; i < 10; i++ {
+			w := words[rng.Intn(len(words))]
+			if w != target {
+				m.Write(1, w, Word(i))
+			}
+		}
+		before := m.Stats(0).RMRs
+		m.Read(0, target)
+		return m.Stats(0).RMRs == before
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDSMCostIsLocationOnly: on DSM the cost of an operation depends
+// only on (process, word home), never on history.
+func TestQuickDSMCostIsLocationOnly(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const procs = 3
+		m := New(Config{Model: DSM, Procs: procs})
+		type loc struct {
+			a    Addr
+			home int
+		}
+		locs := make([]loc, 5)
+		for i := range locs {
+			home := rng.Intn(procs+1) - 1
+			locs[i] = loc{a: m.Alloc(home, 1), home: home}
+		}
+		for i := 0; i < 100; i++ {
+			p := rng.Intn(procs)
+			l := locs[rng.Intn(len(locs))]
+			before := m.Stats(p).RMRs
+			switch rng.Intn(3) {
+			case 0:
+				m.Read(p, l.a)
+			case 1:
+				m.Write(p, l.a, Word(i))
+			case 2:
+				m.FAS(p, l.a, Word(i))
+			}
+			wantRMR := l.home != p
+			gotRMR := m.Stats(p).RMRs == before+1
+			if gotRMR != wantRMR {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFASIsAtomicSwap: FAS always returns the previous value and
+// stores the new one, regardless of interleaved history.
+func TestQuickFASIsAtomicSwap(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := New(Config{Model: DSM, Procs: 2})
+		a := m.Alloc(HomeShared, 1)
+		shadow := Word(0)
+		for i := 0; i < 200; i++ {
+			p := rng.Intn(2)
+			v := Word(rng.Intn(100))
+			if rng.Bool() {
+				old := m.FAS(p, a, v)
+				if old != shadow {
+					return false
+				}
+				shadow = v
+			} else {
+				m.Write(p, a, v)
+				shadow = v
+			}
+		}
+		return m.Peek(a) == shadow
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotRoundTrip: Restore(Snapshot()) is the identity on the
+// word array regardless of interleaved operations.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m := New(Config{Model: DSM, Procs: 1})
+		n := 1 + rng.Intn(16)
+		base := m.Alloc(0, n)
+		for i := 0; i < n; i++ {
+			m.Write(0, base+Addr(i), Word(rng.Uint64()%1000))
+		}
+		snap := m.Snapshot()
+		for i := 0; i < n; i++ {
+			m.Write(0, base+Addr(i), -1)
+		}
+		m.Restore(snap)
+		for i := 0; i < n; i++ {
+			if m.Peek(base+Addr(i)) != snap[int(base)+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package rlock
+
+import (
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+)
+
+// Client program counters (outer RME cycle around a Handle).
+const (
+	clientRemainder = iota
+	clientLocking
+	clientCS
+	clientUnlocking
+)
+
+// Proc is a sched.Proc that cycles Remainder → Try (BeginLock) → CS →
+// Exit (BeginUnlock) → Remainder through one Handle. It is the harness
+// used by tests, the model checker and the benchmarks.
+type Proc struct {
+	id    int
+	mem   *memsim.Memory
+	h     *Handle
+	cpc   int
+	dwell int
+	left  int
+
+	passages uint64
+}
+
+// NewProc builds a client for proc id on lock lk using the given port.
+// dwell is the number of steps spent inside the CS per passage.
+func NewProc(mem *memsim.Memory, lk *Lock, id, port, dwell int) *Proc {
+	return &Proc{id: id, mem: mem, h: NewHandle(lk, id, port), dwell: dwell}
+}
+
+// ID implements sched.Proc.
+func (p *Proc) ID() int { return p.id }
+
+// Handle returns the underlying lock handle (used by white-box tests).
+func (p *Proc) Handle() *Handle { return p.h }
+
+// PC implements sched.PCer, exposing the handle's program counter while a
+// lock operation is in flight and the client counter otherwise (negated to
+// keep the spaces disjoint).
+func (p *Proc) PC() int {
+	switch p.cpc {
+	case clientLocking, clientUnlocking:
+		return p.h.PC()
+	default:
+		return -1 - p.cpc
+	}
+}
+
+// Section implements sched.Proc.
+func (p *Proc) Section() sched.Section {
+	switch p.cpc {
+	case clientRemainder:
+		return sched.Remainder
+	case clientLocking:
+		return sched.Try
+	case clientCS:
+		return sched.CS
+	default:
+		return sched.Exit
+	}
+}
+
+// Passages implements sched.Proc.
+func (p *Proc) Passages() uint64 { return p.passages }
+
+// Step implements sched.Proc.
+func (p *Proc) Step() {
+	switch p.cpc {
+	case clientRemainder:
+		p.h.BeginLock()
+		p.mem.LocalStep(p.id)
+		p.cpc = clientLocking
+	case clientLocking:
+		if p.h.Step() {
+			p.cpc = clientCS
+			p.left = p.dwell
+		}
+	case clientCS:
+		if p.left > 0 {
+			p.left--
+			p.mem.LocalStep(p.id)
+			return
+		}
+		p.h.BeginUnlock()
+		p.mem.LocalStep(p.id)
+		p.cpc = clientUnlocking
+	case clientUnlocking:
+		if p.h.Step() {
+			p.passages++
+			p.cpc = clientRemainder
+		}
+	}
+}
+
+// Crash implements sched.Proc: the process loses its registers and restarts
+// from Remainder (its next normal step re-enters Try, recovering from the
+// NVRAM stage word).
+func (p *Proc) Crash() {
+	p.h.Crash()
+	p.cpc = clientRemainder
+	p.left = 0
+	p.mem.CrashProcess(p.id)
+}

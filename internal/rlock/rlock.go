@@ -1,0 +1,418 @@
+// Package rlock implements the "RLock" substrate required by the paper's
+// main algorithm (Figure 3): a k-ported, starvation-free recoverable
+// mutual-exclusion lock with O(k) RMRs per passage on both CC and DSM
+// machines, satisfying critical-section re-entry (CSR) after crashes.
+//
+// The paper suggests instantiating RLock with Golab and Ramaraju's
+// recoverable extension of the Yang–Anderson tournament lock [7, §3.2].
+// This package implements an equivalent recoverable tournament (see
+// DESIGN.md §5 substitution 3): a binary tree of two-side Peterson-style
+// nodes where
+//
+//   - each side of a node has a claimant flag (the claiming port + 1), and a
+//     turn word arbitrates as in Peterson's algorithm;
+//   - a waiting port busy-waits on a spin word hosted in its *own* memory
+//     partition (local on DSM), whose address it publishes before waiting —
+//     the Signal-object idea applied to lock hand-off;
+//   - a port about to wait first wakes the rival side's published spin word
+//     ("entry wake"), and a woken port *re-checks* the Peterson condition
+//     before proceeding. The wake/re-check pair is what makes blind
+//     re-execution after a crash safe: a process that crashed while holding
+//     a node and re-runs the entry simply defers (writes the turn word) and
+//     wakes any stale waiter, which then re-checks and proceeds;
+//   - exit releases nodes from the root downward with a conditional clear
+//     ("only clear the flag if it still names me"), which makes the whole
+//     exit idempotent: a crashed exit is simply replayed from the root. The
+//     top-down order guarantees the conditional clear is race-free, because
+//     a same-side successor cannot reach level ℓ while the levels below ℓ
+//     are still held;
+//   - a per-port NVRAM stage word (idle/trying/incs/exiting) gives wait-free
+//     CSR: recovery of a holder is a single read.
+//
+// Passage RMR cost is O(log k) crash-free — comfortably within the O(k)
+// contract the main algorithm relies on — and O((1+f)·log k) with f crashes.
+// The claimed properties are machine-checked in model_test.go: exhaustively
+// (all interleavings, bounded crashes) for 2 ports and randomized for more.
+package rlock
+
+import (
+	"fmt"
+
+	"github.com/rmelib/rme/internal/memsim"
+)
+
+// Stage values stored in the per-port NVRAM stage word.
+const (
+	stageIdle    = 0 // no passage in progress
+	stageTrying  = 1 // climbing the tournament
+	stageInCS    = 2 // holds the lock
+	stageExiting = 3 // releasing the tournament
+)
+
+// Lock is the shared NVRAM layout of one k-ported tournament instance.
+// All mutable state lives in simulated memory; Lock itself is immutable
+// after construction and may be shared by any number of Handles.
+type Lock struct {
+	mem    *memsim.Memory
+	ports  int
+	levels int // ceil(log2 ports); 0 when ports == 1
+
+	// nodeBase[l] is the base address of level l's node records; each node
+	// is three consecutive words: flag[0], flag[1], turn.
+	nodeBase []memsim.Addr
+	// spinAddr + port*levels + l holds the published spin-word address of
+	// port at level l (NIL until first published).
+	spinAddr memsim.Addr
+	// stage + port is the port's stage word.
+	stage memsim.Addr
+}
+
+// New allocates a k-ported tournament lock in mem. Global words (node
+// records, published addresses, stage words) are homed in the shared
+// region: on DSM every access to them is remote, which the O(log k) bound
+// already accounts for; only busy-waiting must be local, and that happens
+// on handle-owned words.
+func New(mem *memsim.Memory, ports int) *Lock {
+	if ports <= 0 {
+		panic("rlock: ports must be positive")
+	}
+	levels := 0
+	for 1<<levels < ports {
+		levels++
+	}
+	l := &Lock{mem: mem, ports: ports, levels: levels}
+	l.nodeBase = make([]memsim.Addr, levels)
+	for lvl := 0; lvl < levels; lvl++ {
+		n := 1 << (levels - lvl - 1) // nodes at this level
+		l.nodeBase[lvl] = mem.Alloc(memsim.HomeShared, 3*n)
+	}
+	if levels > 0 {
+		l.spinAddr = mem.Alloc(memsim.HomeShared, ports*levels)
+	}
+	l.stage = mem.Alloc(memsim.HomeShared, ports)
+	return l
+}
+
+// Ports returns the number of ports the lock was built for.
+func (l *Lock) Ports() int { return l.ports }
+
+// Levels returns the height of the tournament tree.
+func (l *Lock) Levels() int { return l.levels }
+
+// node returns the addresses of (flag[side], flag[1-side], turn) for port's
+// node at level lvl.
+func (l *Lock) node(port, lvl, side int) (own, rival, turn memsim.Addr) {
+	idx := port >> (lvl + 1)
+	base := l.nodeBase[lvl] + memsim.Addr(3*idx)
+	return base + memsim.Addr(side), base + memsim.Addr(1-side), base + 2
+}
+
+func (l *Lock) side(port, lvl int) int { return (port >> lvl) & 1 }
+
+func (l *Lock) spinAddrWord(port, lvl int) memsim.Addr {
+	return l.spinAddr + memsim.Addr(port*l.levels+lvl)
+}
+
+func (l *Lock) stageWord(port int) memsim.Addr {
+	return l.stage + memsim.Addr(port)
+}
+
+// HolderStage reports port's stage word for checkers (uncharged read).
+func (l *Lock) HolderStage(port int) int {
+	return int(l.mem.Peek(l.stageWord(port)))
+}
+
+// Handle program counters. Values are internal; they are exported only
+// through Handle.PC for crash-injection policies.
+const (
+	pcIdle = 0
+
+	// Lock path.
+	pcReadStage = 1
+	pcSetTrying = 2
+	pcE0        = 10 // write own flag
+	pcE1        = 11 // write turn (defer)
+	pcE2a       = 12 // reset own spin word
+	pcE2b       = 13 // publish spin word address
+	pcE3        = 14 // read rival flag
+	pcE4        = 15 // read turn
+	pcE5a       = 16 // read rival's published spin address
+	pcE5b       = 17 // entry-wake the rival
+	pcE6        = 18 // local spin
+	pcE7        = 19 // consume wake, go re-check
+	pcSetInCS   = 20
+	// Unlock path (also replayed for exit recovery during Lock).
+	pcSetExiting = 30
+	pcX0         = 31 // read own flag (conditional clear test)
+	pcX1         = 32 // clear own flag
+	pcX2         = 33 // read rival flag
+	pcX3         = 34 // read rival's published spin address
+	pcX4         = 35 // exit-wake the rival
+	pcSetIdle    = 36
+)
+
+// Handle is one process's step machine for acquiring and releasing a Lock
+// through a fixed port. The handle's local fields are the process's
+// volatile registers: Crash wipes them; everything needed for recovery is
+// in the Lock's NVRAM words.
+type Handle struct {
+	lk   *Lock
+	proc int
+	port int
+
+	// mySpin[l] is this handle's spin word for level l, allocated once in
+	// the handle's own partition and reused across passages (reset before
+	// each wait, republished each climb).
+	mySpin []memsim.Addr
+
+	// Volatile registers.
+	pc     int
+	lvl    int
+	r      memsim.Word // rival flag register
+	a      memsim.Word // published-address register
+	relock bool        // finishing a crashed exit, then climb
+}
+
+// NewHandle creates a handle for proc using port. The spin words are
+// allocated eagerly in proc's partition so the memory footprint is fixed
+// (required by the snapshot-based model checker).
+func NewHandle(lk *Lock, proc, port int) *Handle {
+	if port < 0 || port >= lk.ports {
+		panic(fmt.Sprintf("rlock: port %d out of range [0,%d)", port, lk.ports))
+	}
+	h := &Handle{lk: lk, proc: proc, port: port}
+	h.mySpin = make([]memsim.Addr, lk.levels)
+	for l := range h.mySpin {
+		h.mySpin[l] = lk.mem.Alloc(proc, 1)
+	}
+	return h
+}
+
+// Port returns the handle's port.
+func (h *Handle) Port() int { return h.port }
+
+// PC exposes the internal program counter for crash policies.
+func (h *Handle) PC() int { return h.pc }
+
+// Done reports whether no operation is in progress.
+func (h *Handle) Done() bool { return h.pc == pcIdle }
+
+// BeginLock starts the Try protocol (or its crash recovery; the stage word
+// decides which).
+func (h *Handle) BeginLock() {
+	h.pc = pcReadStage
+	h.relock = false
+}
+
+// BeginUnlock starts the Exit protocol. Only valid when the lock is held
+// (stage == incs); the step machine does not re-verify this.
+func (h *Handle) BeginUnlock() {
+	h.pc = pcSetExiting
+	h.relock = false
+}
+
+// Crash wipes the volatile registers. The NVRAM stage word drives recovery
+// on the next BeginLock.
+func (h *Handle) Crash() {
+	h.pc = pcIdle
+	h.lvl = 0
+	h.r = 0
+	h.a = 0
+	h.relock = false
+}
+
+// advance moves the climb one level up, or into the CS at the top.
+func (h *Handle) advance() {
+	h.lvl++
+	if h.lvl == h.lk.levels {
+		h.pc = pcSetInCS
+	} else {
+		h.pc = pcE0
+	}
+}
+
+// descend moves the release one level down, or finishes at the leaves.
+func (h *Handle) descend() {
+	h.lvl--
+	if h.lvl < 0 {
+		h.pc = pcSetIdle
+	} else {
+		h.pc = pcX0
+	}
+}
+
+// Step executes one atomic step; it returns true when the operation begun
+// by BeginLock/BeginUnlock has completed. For BeginLock, completion means
+// the critical section is held.
+func (h *Handle) Step() bool {
+	mem, lk := h.lk.mem, h.lk
+	switch h.pc {
+	case pcIdle:
+		return true
+
+	case pcReadStage:
+		switch mem.Read(h.proc, lk.stageWord(h.port)) {
+		case stageInCS:
+			// Wait-free CSR: we crashed holding the lock; still the holder.
+			h.pc = pcIdle
+			return true
+		case stageExiting:
+			// Crashed mid-exit: replay the release from the root, then
+			// climb as a fresh entry.
+			h.relock = true
+			h.lvl = lk.levels - 1
+			if h.lvl < 0 {
+				h.pc = pcSetIdle
+			} else {
+				h.pc = pcX0
+			}
+		default: // idle or trying
+			h.pc = pcSetTrying
+		}
+
+	case pcSetTrying:
+		mem.Write(h.proc, lk.stageWord(h.port), stageTrying)
+		h.lvl = 0
+		if lk.levels == 0 {
+			h.pc = pcSetInCS
+		} else {
+			h.pc = pcE0
+		}
+
+	case pcE0:
+		own, _, _ := lk.node(h.port, h.lvl, lk.side(h.port, h.lvl))
+		mem.Write(h.proc, own, memsim.Word(h.port+1))
+		h.pc = pcE1
+
+	case pcE1:
+		s := lk.side(h.port, h.lvl)
+		_, _, turn := lk.node(h.port, h.lvl, s)
+		mem.Write(h.proc, turn, memsim.Word(1-s))
+		h.pc = pcE2a
+
+	case pcE2a:
+		mem.Write(h.proc, h.mySpin[h.lvl], 0)
+		h.pc = pcE2b
+
+	case pcE2b:
+		mem.Write(h.proc, lk.spinAddrWord(h.port, h.lvl), memsim.Word(h.mySpin[h.lvl]))
+		h.pc = pcE3
+
+	case pcE3:
+		s := lk.side(h.port, h.lvl)
+		_, rival, _ := lk.node(h.port, h.lvl, s)
+		h.r = mem.Read(h.proc, rival)
+		if h.r == 0 {
+			h.advance()
+		} else {
+			h.pc = pcE4
+		}
+
+	case pcE4:
+		s := lk.side(h.port, h.lvl)
+		_, _, turn := lk.node(h.port, h.lvl, s)
+		if mem.Read(h.proc, turn) != memsim.Word(1-s) {
+			h.advance()
+		} else {
+			h.pc = pcE5a
+		}
+
+	case pcE5a:
+		h.a = mem.Read(h.proc, lk.spinAddrWord(int(h.r-1), h.lvl))
+		h.pc = pcE5b
+
+	case pcE5b:
+		// Entry wake: we are about to wait, so the rival has priority; if
+		// it was left waiting by an earlier crash of ours, release it. The
+		// rival re-checks its condition, so a spurious wake is harmless.
+		if h.a != memsim.Word(memsim.NilAddr) {
+			mem.Write(h.proc, memsim.Addr(h.a), 1)
+		} else {
+			mem.LocalStep(h.proc)
+		}
+		h.pc = pcE6
+
+	case pcE6:
+		if mem.Read(h.proc, h.mySpin[h.lvl]) != 0 {
+			h.pc = pcE7
+		}
+
+	case pcE7:
+		mem.Write(h.proc, h.mySpin[h.lvl], 0)
+		h.pc = pcE3 // re-check the Peterson condition
+
+	case pcSetInCS:
+		mem.Write(h.proc, lk.stageWord(h.port), stageInCS)
+		h.pc = pcIdle
+		return true
+
+	case pcSetExiting:
+		mem.Write(h.proc, lk.stageWord(h.port), stageExiting)
+		h.lvl = lk.levels - 1
+		if h.lvl < 0 {
+			h.pc = pcSetIdle
+		} else {
+			h.pc = pcX0
+		}
+
+	case pcX0:
+		s := lk.side(h.port, h.lvl)
+		own, _, _ := lk.node(h.port, h.lvl, s)
+		if mem.Read(h.proc, own) != memsim.Word(h.port+1) {
+			// Already released in the crashed attempt being replayed.
+			h.descend()
+		} else {
+			h.pc = pcX1
+		}
+
+	case pcX1:
+		s := lk.side(h.port, h.lvl)
+		own, _, _ := lk.node(h.port, h.lvl, s)
+		mem.Write(h.proc, own, 0)
+		h.pc = pcX2
+
+	case pcX2:
+		s := lk.side(h.port, h.lvl)
+		_, rival, _ := lk.node(h.port, h.lvl, s)
+		h.r = mem.Read(h.proc, rival)
+		if h.r == 0 {
+			h.descend()
+		} else {
+			h.pc = pcX3
+		}
+
+	case pcX3:
+		h.a = mem.Read(h.proc, lk.spinAddrWord(int(h.r-1), h.lvl))
+		h.pc = pcX4
+
+	case pcX4:
+		if h.a != memsim.Word(memsim.NilAddr) {
+			mem.Write(h.proc, memsim.Addr(h.a), 1)
+		} else {
+			mem.LocalStep(h.proc)
+		}
+		h.descend()
+
+	case pcSetIdle:
+		if h.relock {
+			// Exit replay finished; now run the fresh entry we were asked
+			// for. Going straight to "trying" keeps this a single write.
+			h.relock = false
+			mem.Write(h.proc, lk.stageWord(h.port), stageTrying)
+			h.lvl = 0
+			if lk.levels == 0 {
+				h.pc = pcSetInCS
+			} else {
+				h.pc = pcE0
+			}
+		} else {
+			mem.Write(h.proc, lk.stageWord(h.port), stageIdle)
+			h.pc = pcIdle
+			return true
+		}
+
+	default:
+		panic(fmt.Sprintf("rlock: corrupt pc %d", h.pc))
+	}
+	return h.pc == pcIdle
+}

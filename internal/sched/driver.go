@@ -1,0 +1,118 @@
+package sched
+
+import "fmt"
+
+// Driver executes hand-scripted adversarial schedules: "run π3 until it is
+// about to execute line 14, crash it, then let π5 finish its passage". The
+// Figure 5 walkthrough and the Appendix A scenarios are written against it.
+//
+// Driver and Runner are alternative frontends over the same Proc machines;
+// a Driver is just imperative control where a Runner is policy-driven.
+type Driver struct {
+	procs map[int]Proc
+	steps uint64
+	// Budget bounds the total steps a single directive may take before the
+	// Driver reports failure; it converts would-be hangs (e.g. a deadlocked
+	// schedule) into checkable outcomes. 0 means 1<<20.
+	Budget uint64
+}
+
+// NewDriver builds a driver over procs, keyed by Proc.ID.
+func NewDriver(procs ...Proc) *Driver {
+	d := &Driver{procs: make(map[int]Proc, len(procs))}
+	for _, p := range procs {
+		if _, dup := d.procs[p.ID()]; dup {
+			panic(fmt.Sprintf("sched: duplicate proc id %d", p.ID()))
+		}
+		d.procs[p.ID()] = p
+	}
+	return d
+}
+
+// Steps returns the total number of steps the driver has executed.
+func (d *Driver) Steps() uint64 { return d.steps }
+
+func (d *Driver) proc(id int) Proc {
+	p, ok := d.procs[id]
+	if !ok {
+		panic(fmt.Sprintf("sched: no proc with id %d", id))
+	}
+	return p
+}
+
+func (d *Driver) budget() uint64 {
+	if d.Budget == 0 {
+		return 1 << 20
+	}
+	return d.Budget
+}
+
+// Step runs n normal steps of process id.
+func (d *Driver) Step(id int, n int) {
+	p := d.proc(id)
+	for i := 0; i < n; i++ {
+		p.Step()
+		d.steps++
+	}
+}
+
+// Crash delivers a crash step to process id.
+func (d *Driver) Crash(id int) {
+	d.proc(id).Crash()
+	d.steps++
+}
+
+// StepUntil runs process id until pred(p) holds, checking before each step.
+// It returns true if pred held within the budget; false means the process
+// was still running (e.g. spinning forever) when the budget ran out — the
+// scripted deadlock/starvation scenarios assert on exactly that.
+func (d *Driver) StepUntil(id int, pred func(Proc) bool) bool {
+	p := d.proc(id)
+	for i := uint64(0); i < d.budget(); i++ {
+		if pred(p) {
+			return true
+		}
+		p.Step()
+		d.steps++
+	}
+	return pred(p)
+}
+
+// StepUntilPC runs process id until its program counter equals pc (the
+// process is then poised to execute that line but has not yet).
+func (d *Driver) StepUntilPC(id int, pc int) bool {
+	return d.StepUntil(id, func(p Proc) bool {
+		pcer, ok := p.(PCer)
+		if !ok {
+			panic(fmt.Sprintf("sched: proc %d does not expose a PC", id))
+		}
+		return pcer.PC() == pc
+	})
+}
+
+// StepUntilSection runs process id until it is in section s.
+func (d *Driver) StepUntilSection(id int, s Section) bool {
+	return d.StepUntil(id, func(p Proc) bool { return p.Section() == s })
+}
+
+// FinishPassage runs process id until its passage count increases by one
+// (i.e. it completes Exit and returns to Remainder).
+func (d *Driver) FinishPassage(id int) bool {
+	p := d.proc(id)
+	start := p.Passages()
+	return d.StepUntil(id, func(Proc) bool { return p.Passages() > start })
+}
+
+// RunConcurrently interleaves all listed processes round-robin until pred
+// holds, within the budget. It is used by scenarios to show that a system
+// makes (or fails to make) global progress from a configured state.
+func (d *Driver) RunConcurrently(ids []int, pred func() bool) bool {
+	for i := uint64(0); i < d.budget(); i++ {
+		if pred() {
+			return true
+		}
+		d.proc(ids[int(i)%len(ids)]).Step()
+		d.steps++
+	}
+	return pred()
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMaxSteps is returned by Runner.Run when the step budget is exhausted
+// before the stop condition holds. Callers that treat exhaustion as normal
+// (open-ended measurement runs) can errors.Is against it.
+var ErrMaxSteps = errors.New("sched: step budget exhausted before stop condition")
+
+// StepEvent describes one executed step, for per-step observers.
+type StepEvent struct {
+	Step    uint64
+	Proc    int
+	Crashed bool // the step was a crash step
+}
+
+// Runner drives a set of processes under a scheduler and crash policy.
+type Runner struct {
+	// Procs are the step machines, indexed by scheduler choice.
+	Procs []Proc
+	// Sched picks the next process; defaults to RoundRobin.
+	Sched Scheduler
+	// Crash decides crash steps; defaults to NoCrash.
+	Crash CrashPolicy
+	// MaxSteps bounds the run; 0 means a default of 1<<22 steps, which is
+	// far beyond any convergent experiment and turns livelock into a
+	// diagnosable error instead of a hang.
+	MaxSteps uint64
+	// OnStep, when non-nil, observes every executed step (after it ran).
+	// Invariant checkers hook here.
+	OnStep func(StepEvent)
+	// StopWhen, when non-nil, is evaluated after each step; the run ends
+	// when it returns true.
+	StopWhen func() bool
+
+	steps   uint64
+	crashes []uint64
+}
+
+// Steps returns the number of steps executed so far.
+func (r *Runner) Steps() uint64 { return r.steps }
+
+// Crashes returns how many crash steps process i has received.
+func (r *Runner) Crashes(i int) uint64 {
+	if r.crashes == nil {
+		return 0
+	}
+	return r.crashes[i]
+}
+
+// TotalCrashes sums crash steps over all processes.
+func (r *Runner) TotalCrashes() uint64 {
+	var sum uint64
+	for _, c := range r.crashes {
+		sum += c
+	}
+	return sum
+}
+
+// Run executes steps until StopWhen holds, returning nil, or until MaxSteps
+// is exhausted, returning ErrMaxSteps.
+func (r *Runner) Run() error {
+	if len(r.Procs) == 0 {
+		return errors.New("sched: no processes")
+	}
+	if r.Sched == nil {
+		r.Sched = RoundRobin{}
+	}
+	if r.Crash == nil {
+		r.Crash = NoCrash{}
+	}
+	maxSteps := r.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 22
+	}
+	if r.crashes == nil {
+		r.crashes = make([]uint64, len(r.Procs))
+	}
+	if r.StopWhen != nil && r.StopWhen() {
+		return nil
+	}
+	for r.steps < maxSteps {
+		i := r.Sched.Next(r.steps, len(r.Procs))
+		if i < 0 || i >= len(r.Procs) {
+			return fmt.Errorf("sched: scheduler chose process %d of %d", i, len(r.Procs))
+		}
+		p := r.Procs[i]
+		crashed := r.Crash.ShouldCrash(r.steps, p)
+		if crashed {
+			p.Crash()
+			r.crashes[i]++
+		} else {
+			p.Step()
+		}
+		r.steps++
+		if r.OnStep != nil {
+			r.OnStep(StepEvent{Step: r.steps, Proc: i, Crashed: crashed})
+		}
+		if r.StopWhen != nil && r.StopWhen() {
+			return nil
+		}
+	}
+	if r.StopWhen == nil {
+		return nil
+	}
+	return fmt.Errorf("%w (%d steps)", ErrMaxSteps, maxSteps)
+}
+
+// AllPassagesAtLeast returns a stop condition that holds once every process
+// has completed at least n passages.
+func AllPassagesAtLeast(procs []Proc, n uint64) func() bool {
+	return func() bool {
+		for _, p := range procs {
+			if p.Passages() < n {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// TotalPassagesAtLeast returns a stop condition on the sum of passages.
+func TotalPassagesAtLeast(procs []Proc, n uint64) func() bool {
+	return func() bool {
+		var sum uint64
+		for _, p := range procs {
+			sum += p.Passages()
+		}
+		return sum >= n
+	}
+}

@@ -1,0 +1,205 @@
+// Package sched provides the execution framework for the paper's model
+// (§1.1–1.2): asynchronous processes take steps one at a time, where a step
+// is either a normal step (one atomic shared-memory operation plus bounded
+// local computation) or a crash step (program counter reset to the start of
+// the program, all other registers wiped to ⊥, cache lost).
+//
+// Algorithms are written as explicit program-counter step machines
+// implementing Proc, so a crash can be injected between any two
+// shared-memory operations — the same granularity as the paper's model.
+// Schedulers choose which process steps next; crash policies decide when a
+// chosen step becomes a crash step instead.
+package sched
+
+import "fmt"
+
+// Section identifies where in the mutual-exclusion cycle a process is
+// (§1.2: Remainder, Try, Critical, Exit).
+type Section uint8
+
+// The four sections of the RME cycle.
+const (
+	Remainder Section = iota + 1
+	Try
+	CS
+	Exit
+)
+
+// String returns the section name.
+func (s Section) String() string {
+	switch s {
+	case Remainder:
+		return "Remainder"
+	case Try:
+		return "Try"
+	case CS:
+		return "CS"
+	case Exit:
+		return "Exit"
+	default:
+		return fmt.Sprintf("Section(%d)", uint8(s))
+	}
+}
+
+// Proc is an RME client process compiled into a step machine. A Proc cycles
+// Remainder → Try → CS → Exit → Remainder forever; the run harness decides
+// when to stop stepping it.
+//
+// Implementations must ensure each Step performs at most one shared-memory
+// operation so crash injection has the model's granularity.
+type Proc interface {
+	// ID returns the process identifier (also its memsim process index).
+	ID() int
+	// Step executes one normal step.
+	Step()
+	// Crash executes a crash step: PC to the program start, registers to ⊥.
+	// Implementations must not touch shared memory.
+	Crash()
+	// Section reports the current section of the RME cycle.
+	Section() Section
+	// Passages returns the number of passages completed by finishing the
+	// Exit section (crash-truncated passages are not counted here).
+	Passages() uint64
+}
+
+// PCer is implemented by machines that expose their program counter, keyed
+// to the paper's line numbers where applicable. Crash policies and scripted
+// schedules use it to place crashes at exact lines.
+type PCer interface {
+	PC() int
+}
+
+// Scheduler picks which process takes the next step.
+type Scheduler interface {
+	// Next returns the index (into the runner's process slice) of the
+	// process to step, given the global step number.
+	Next(step uint64, n int) int
+}
+
+// RoundRobin steps processes cyclically: 0,1,…,n-1,0,…
+type RoundRobin struct{}
+
+// Next implements Scheduler.
+func (RoundRobin) Next(step uint64, n int) int { return int(step % uint64(n)) }
+
+// randSource is the minimal randomness dependency of the random scheduler,
+// satisfied by *xrand.Rand. Declared locally to keep the package decoupled.
+type randSource interface {
+	Intn(n int) int
+}
+
+// Random schedules uniformly at random from a deterministic source.
+type Random struct {
+	Src randSource
+}
+
+// Next implements Scheduler.
+func (r Random) Next(_ uint64, n int) int { return r.Src.Intn(n) }
+
+// WeightedRandom schedules process i with probability proportional to
+// Weights[i]. Used to model slow/fast process mixes in adversarial runs.
+type WeightedRandom struct {
+	Src     randSource
+	Weights []int
+	total   int
+}
+
+// NewWeightedRandom builds a weighted scheduler; all weights must be
+// positive.
+func NewWeightedRandom(src randSource, weights []int) *WeightedRandom {
+	w := &WeightedRandom{Src: src, Weights: append([]int(nil), weights...)}
+	for _, x := range weights {
+		if x <= 0 {
+			panic("sched: weights must be positive")
+		}
+		w.total += x
+	}
+	return w
+}
+
+// Next implements Scheduler.
+func (w *WeightedRandom) Next(_ uint64, n int) int {
+	if n != len(w.Weights) {
+		panic(fmt.Sprintf("sched: weighted scheduler built for %d procs, run has %d", len(w.Weights), n))
+	}
+	x := w.Src.Intn(w.total)
+	for i, wt := range w.Weights {
+		x -= wt
+		if x < 0 {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// CrashPolicy decides whether the step about to be taken by proc p becomes
+// a crash step.
+type CrashPolicy interface {
+	ShouldCrash(step uint64, p Proc) bool
+}
+
+// NoCrash never crashes anyone.
+type NoCrash struct{}
+
+// ShouldCrash implements CrashPolicy.
+func (NoCrash) ShouldCrash(uint64, Proc) bool { return false }
+
+// RandomCrash crashes the scheduled process with probability Rate per step,
+// but only while it is outside the Remainder section (crashing an idle
+// process is a no-op in the model) and only until Budget total crashes have
+// been spent (0 budget = unlimited).
+type RandomCrash struct {
+	Src    randSource
+	RateN  int // crash with probability RateN / RateD
+	RateD  int
+	Budget int
+	spent  int
+}
+
+// ShouldCrash implements CrashPolicy.
+func (c *RandomCrash) ShouldCrash(_ uint64, p Proc) bool {
+	if c.RateD <= 0 || p.Section() == Remainder {
+		return false
+	}
+	if c.Budget > 0 && c.spent >= c.Budget {
+		return false
+	}
+	if c.Src.Intn(c.RateD) < c.RateN {
+		c.spent++
+		return true
+	}
+	return false
+}
+
+// Spent returns how many crashes the policy has delivered.
+func (c *RandomCrash) Spent() int { return c.spent }
+
+// CrashAtPC crashes a specific process the first time it is scheduled while
+// its program counter equals PC. It is the tool behind the
+// crash-at-every-line sweeps: one run per (line, process) pair.
+type CrashAtPC struct {
+	Proc  int
+	PC    int
+	Times int // how many times to deliver (default 1)
+	done  int
+}
+
+// ShouldCrash implements CrashPolicy.
+func (c *CrashAtPC) ShouldCrash(_ uint64, p Proc) bool {
+	times := c.Times
+	if times == 0 {
+		times = 1
+	}
+	if c.done >= times || p.ID() != c.Proc {
+		return false
+	}
+	pcer, ok := p.(PCer)
+	if !ok || pcer.PC() != c.PC {
+		return false
+	}
+	c.done++
+	return true
+}
+
+// Delivered reports how many crashes this policy has injected.
+func (c *CrashAtPC) Delivered() int { return c.done }

@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// tasProc is a minimal test-and-set lock client used to exercise the
+// framework. It is intentionally not recoverable; crash-related tests only
+// use it to validate crash bookkeeping, not progress after crashes.
+type tasProc struct {
+	id       int
+	mem      *memsim.Memory
+	lock     memsim.Addr
+	pc       int
+	dwell    int
+	passages uint64
+	broken   bool // when set, skips the acquire test: violates ME on purpose
+}
+
+const (
+	tasPCTry = iota
+	tasPCCS
+	tasPCExit
+)
+
+func (p *tasProc) ID() int { return p.id }
+func (p *tasProc) PC() int { return p.pc }
+
+func (p *tasProc) Section() Section {
+	switch p.pc {
+	case tasPCTry:
+		return Try
+	case tasPCCS:
+		return CS
+	default:
+		return Exit
+	}
+}
+
+func (p *tasProc) Passages() uint64 { return p.passages }
+
+func (p *tasProc) Step() {
+	switch p.pc {
+	case tasPCTry:
+		if p.broken {
+			p.pc = tasPCCS
+			return
+		}
+		if old := p.mem.FAS(p.id, p.lock, 1); old == 0 {
+			p.pc = tasPCCS
+		}
+	case tasPCCS:
+		if p.dwell > 0 {
+			p.dwell--
+			return
+		}
+		p.pc = tasPCExit
+	case tasPCExit:
+		p.mem.Write(p.id, p.lock, 0)
+		p.passages++
+		p.pc = tasPCTry
+	}
+}
+
+func (p *tasProc) Crash() {
+	p.pc = tasPCTry
+	p.dwell = 0
+	p.mem.CrashProcess(p.id)
+}
+
+func newTASWorld(t *testing.T, n int, broken bool) (*memsim.Memory, []Proc) {
+	t.Helper()
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: n})
+	lock := mem.Alloc(memsim.HomeShared, 1)
+	procs := make([]Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &tasProc{id: i, mem: mem, lock: lock, broken: broken}
+	}
+	return mem, procs
+}
+
+func inCS(procs []Proc) int {
+	n := 0
+	for _, p := range procs {
+		if p.Section() == CS {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRunnerRoundRobinCompletesPassages(t *testing.T) {
+	_, procs := newTASWorld(t, 4, false)
+	r := &Runner{Procs: procs, StopWhen: AllPassagesAtLeast(procs, 5)}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, p := range procs {
+		if p.Passages() < 5 {
+			t.Fatalf("proc %d completed %d passages, want >= 5", i, p.Passages())
+		}
+	}
+}
+
+func TestRunnerMutualExclusionHolds(t *testing.T) {
+	_, procs := newTASWorld(t, 3, false)
+	violated := false
+	r := &Runner{
+		Procs:    procs,
+		Sched:    Random{Src: xrand.New(11)},
+		OnStep:   func(StepEvent) { violated = violated || inCS(procs) > 1 },
+		StopWhen: TotalPassagesAtLeast(procs, 50),
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if violated {
+		t.Fatal("TAS lock violated mutual exclusion (framework bug)")
+	}
+}
+
+func TestRunnerDetectsBrokenLock(t *testing.T) {
+	// A lock that admits everyone must trip the same observer: this guards
+	// the observer machinery itself against false negatives.
+	_, procs := newTASWorld(t, 3, true)
+	violated := false
+	r := &Runner{
+		Procs:    procs,
+		OnStep:   func(StepEvent) { violated = violated || inCS(procs) > 1 },
+		StopWhen: TotalPassagesAtLeast(procs, 10),
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !violated {
+		t.Fatal("observer failed to notice the deliberately broken lock")
+	}
+}
+
+func TestRunnerMaxStepsError(t *testing.T) {
+	_, procs := newTASWorld(t, 2, false)
+	r := &Runner{
+		Procs:    procs,
+		MaxSteps: 10,
+		StopWhen: AllPassagesAtLeast(procs, 1000),
+	}
+	err := r.Run()
+	if !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	if r.Steps() != 10 {
+		t.Fatalf("steps = %d, want 10", r.Steps())
+	}
+}
+
+func TestRandomCrashBudgetAndCounting(t *testing.T) {
+	_, procs := newTASWorld(t, 2, false)
+	crash := &RandomCrash{Src: xrand.New(3), RateN: 1, RateD: 4, Budget: 5}
+	r := &Runner{
+		Procs:    procs,
+		Crash:    crash,
+		MaxSteps: 5000,
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if crash.Spent() != 5 {
+		t.Fatalf("crash policy spent %d, want full budget 5", crash.Spent())
+	}
+	if r.TotalCrashes() != 5 {
+		t.Fatalf("runner counted %d crashes, want 5", r.TotalCrashes())
+	}
+}
+
+func TestCrashAtPCFiresExactlyOnce(t *testing.T) {
+	// Crash proc 1 while it is still in Try (not yet holding the TAS lock),
+	// so the non-recoverable toy lock is left in a sane state.
+	_, procs := newTASWorld(t, 2, false)
+	policy := &CrashAtPC{Proc: 1, PC: tasPCTry}
+	r := &Runner{
+		Procs:    procs,
+		Crash:    policy,
+		StopWhen: func() bool { return procs[0].Passages() >= 20 },
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if policy.Delivered() != 1 {
+		t.Fatalf("delivered %d crashes, want 1", policy.Delivered())
+	}
+	if r.Crashes(1) != 1 || r.Crashes(0) != 0 {
+		t.Fatalf("crash counts wrong: p0=%d p1=%d", r.Crashes(0), r.Crashes(1))
+	}
+}
+
+func TestWeightedRandomRespectsWeights(t *testing.T) {
+	w := NewWeightedRandom(xrand.New(9), []int{1, 9})
+	counts := [2]int{}
+	for i := uint64(0); i < 10000; i++ {
+		counts[w.Next(i, 2)]++
+	}
+	if counts[1] < 8000 {
+		t.Fatalf("heavy process scheduled only %d/10000 times", counts[1])
+	}
+	if counts[0] == 0 {
+		t.Fatal("light process never scheduled")
+	}
+}
+
+func TestWeightedRandomValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero weight accepted")
+		}
+	}()
+	NewWeightedRandom(xrand.New(1), []int{1, 0})
+}
+
+func TestDriverStepUntilPCAndCrash(t *testing.T) {
+	_, procs := newTASWorld(t, 2, false)
+	d := NewDriver(procs...)
+
+	if !d.StepUntilPC(0, tasPCCS) {
+		t.Fatal("proc 0 never reached the CS")
+	}
+	if procs[0].Section() != CS {
+		t.Fatalf("section = %v, want CS", procs[0].Section())
+	}
+	// Proc 1 now spins: it must never enter the CS while 0 holds the lock.
+	if d.StepUntil(1, func(p Proc) bool { return p.Section() == CS }) {
+		t.Fatal("proc 1 entered CS while proc 0 held the lock")
+	}
+	// Crash proc 0. The TAS lock is not recoverable, so the lock word stays
+	// set and proc 1 keeps starving: exactly what the budget surfaces.
+	d.Crash(0)
+	if got := procs[0].Section(); got != Try {
+		t.Fatalf("after crash section = %v, want Try (restart)", got)
+	}
+}
+
+func TestDriverFinishPassage(t *testing.T) {
+	_, procs := newTASWorld(t, 1, false)
+	d := NewDriver(procs...)
+	if !d.FinishPassage(0) {
+		t.Fatal("single process failed to finish a passage")
+	}
+	if procs[0].Passages() != 1 {
+		t.Fatalf("passages = %d, want 1", procs[0].Passages())
+	}
+}
+
+func TestDriverRunConcurrently(t *testing.T) {
+	_, procs := newTASWorld(t, 3, false)
+	d := NewDriver(procs...)
+	ok := d.RunConcurrently([]int{0, 1, 2}, func() bool {
+		var sum uint64
+		for _, p := range procs {
+			sum += p.Passages()
+		}
+		return sum >= 30
+	})
+	if !ok {
+		t.Fatal("concurrent run did not reach 30 passages")
+	}
+}
+
+func TestDriverDuplicateIDPanics(t *testing.T) {
+	_, procs := newTASWorld(t, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate ids accepted")
+		}
+	}()
+	NewDriver(procs[0], procs[0])
+}
+
+func TestStopWhenCheckedBeforeFirstStep(t *testing.T) {
+	_, procs := newTASWorld(t, 1, false)
+	r := &Runner{Procs: procs, StopWhen: func() bool { return true }}
+	if err := r.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if r.Steps() != 0 {
+		t.Fatalf("steps = %d, want 0", r.Steps())
+	}
+}

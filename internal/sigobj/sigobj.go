@@ -1,0 +1,196 @@
+// Package sigobj implements the paper's Signal object (Section 2,
+// Figures 1–2): a single-shot flag with two operations,
+//
+//	set()  — sets State to 1;
+//	wait() — returns once State is 1,
+//
+// such that both operations incur O(1) RMRs on CC *and* DSM machines,
+// provided no two wait() executions are concurrent (the main algorithm
+// guarantees that by construction).
+//
+// The DSM difficulty is that the setter does not know who is waiting. The
+// implementation (Figure 2) therefore uses a published spin-variable
+// address: the waiter allocates a fresh boolean in its *own* memory
+// partition (so its busy-wait is local), publishes the address in GoAddr,
+// and re-checks Bit; the setter first writes Bit and then wakes whatever
+// address it finds in GoAddr.
+//
+// Operations are step machines (Setter, Waiter) so the enclosing algorithm
+// can interleave and crash them at instruction granularity.
+package sigobj
+
+import "github.com/rmelib/rme/internal/memsim"
+
+// Memory layout of a Signal instance, relative to its base address.
+const (
+	// OffBit is the Bit field (paper Figure 2): 1 once set() has run.
+	OffBit = 0
+	// OffGoAddr holds the waiter-published spin variable address (NIL if
+	// no waiter has published one).
+	OffGoAddr = 1
+	// Words is the size of a Signal instance in memory words.
+	Words = 2
+)
+
+// Alloc allocates a fresh Signal instance homed in owner's partition and
+// returns its base address. Zeroed words are exactly the initial state:
+// Bit = 0, GoAddr = NIL.
+func Alloc(mem *memsim.Memory, owner int) memsim.Addr {
+	return mem.Alloc(owner, Words)
+}
+
+// State returns the abstract X.State of the signal at base, for checkers
+// and tests (uncharged read).
+func State(mem *memsim.Memory, base memsim.Addr) int {
+	return int(mem.Peek(base + OffBit))
+}
+
+// ForceSet marks the signal set without charging operations. It exists for
+// initializing the paper's SpecialNode, whose signals start at 1.
+func ForceSet(mem *memsim.Memory, base memsim.Addr) {
+	mem.Poke(base+OffBit, 1)
+}
+
+// Setter is the step machine for X.set() (Figure 2 lines 1–4).
+// The zero value is idle; call Begin before stepping.
+type Setter struct {
+	mem  *memsim.Memory
+	proc int
+
+	base memsim.Addr
+	pc   int
+	addr memsim.Word // local register addr_p (line 2)
+}
+
+// Setter program counter values; named for the paper's line numbers.
+const (
+	setIdle   = 0
+	setLine1  = 1 // Bit <- 1
+	setLine2  = 2 // addr <- GoAddr
+	setLine34 = 3 // if addr != NIL then *addr <- true
+)
+
+// NewSetter returns a Setter executing as process proc.
+func NewSetter(mem *memsim.Memory, proc int) Setter {
+	return Setter{mem: mem, proc: proc}
+}
+
+// Begin starts a set() on the signal at base.
+func (s *Setter) Begin(base memsim.Addr) {
+	s.base = base
+	s.pc = setLine1
+	s.addr = 0
+}
+
+// Done reports whether the current set() has completed (or none started).
+func (s *Setter) Done() bool { return s.pc == setIdle }
+
+// Step executes one atomic step of set(); it returns true when the
+// operation has completed. Calling Step when Done is a no-op returning true.
+func (s *Setter) Step() bool {
+	switch s.pc {
+	case setIdle:
+		return true
+	case setLine1:
+		s.mem.Write(s.proc, s.base+OffBit, 1)
+		s.pc = setLine2
+	case setLine2:
+		s.addr = s.mem.Read(s.proc, s.base+OffGoAddr)
+		s.pc = setLine34
+	case setLine34:
+		// Line 3 is a register test (local); line 4 is the only shared op.
+		if s.addr != memsim.Word(memsim.NilAddr) {
+			s.mem.Write(s.proc, memsim.Addr(s.addr), 1)
+		}
+		s.pc = setIdle
+		return true
+	}
+	return s.pc == setIdle
+}
+
+// Crash wipes the machine's registers (the enclosing process crashed).
+func (s *Setter) Crash() {
+	s.pc = setIdle
+	s.addr = 0
+	s.base = 0
+}
+
+// Waiter is the step machine for X.wait() (Figure 2 lines 5–9).
+// The zero value is idle; call Begin before stepping.
+type Waiter struct {
+	mem  *memsim.Memory
+	proc int
+
+	base memsim.Addr
+	pc   int
+	gov  memsim.Addr // local register go_p: address of own spin variable
+}
+
+// Waiter program counter values; named for the paper's line numbers.
+const (
+	waitIdle  = 0
+	waitLine5 = 5 // go <- new Boolean (local allocation)
+	waitLine6 = 6 // *go <- false
+	waitLine7 = 7 // GoAddr <- go
+	waitLine8 = 8 // if Bit == 0 ...
+	waitLine9 = 9 // ... wait till *go == true
+)
+
+// NewWaiter returns a Waiter executing as process proc.
+func NewWaiter(mem *memsim.Memory, proc int) Waiter {
+	return Waiter{mem: mem, proc: proc}
+}
+
+// Begin starts a wait() on the signal at base.
+func (w *Waiter) Begin(base memsim.Addr) {
+	w.base = base
+	w.pc = waitLine5
+	w.gov = memsim.NilAddr
+}
+
+// Done reports whether the current wait() has completed (or none started).
+func (w *Waiter) Done() bool { return w.pc == waitIdle }
+
+// Spinning reports whether the waiter is in its local busy-wait (line 9).
+func (w *Waiter) Spinning() bool { return w.pc == waitLine9 }
+
+// Step executes one atomic step of wait(); it returns true when the
+// operation has completed.
+func (w *Waiter) Step() bool {
+	switch w.pc {
+	case waitIdle:
+		return true
+	case waitLine5:
+		// A fresh boolean in the waiter's own partition: this is what makes
+		// the busy-wait local on DSM. Allocation is a local step.
+		w.gov = w.mem.Alloc(w.proc, 1)
+		w.mem.LocalStep(w.proc)
+		w.pc = waitLine6
+	case waitLine6:
+		w.mem.Write(w.proc, w.gov, 0)
+		w.pc = waitLine7
+	case waitLine7:
+		w.mem.Write(w.proc, w.base+OffGoAddr, memsim.Word(w.gov))
+		w.pc = waitLine8
+	case waitLine8:
+		if w.mem.Read(w.proc, w.base+OffBit) == 0 {
+			w.pc = waitLine9
+		} else {
+			w.pc = waitIdle
+			return true
+		}
+	case waitLine9:
+		if w.mem.Read(w.proc, w.gov) != 0 {
+			w.pc = waitIdle
+			return true
+		}
+	}
+	return w.pc == waitIdle
+}
+
+// Crash wipes the machine's registers.
+func (w *Waiter) Crash() {
+	w.pc = waitIdle
+	w.gov = 0
+	w.base = 0
+}

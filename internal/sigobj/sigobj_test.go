@@ -1,0 +1,267 @@
+package sigobj
+
+import (
+	"testing"
+
+	"github.com/rmelib/rme/internal/memsim"
+)
+
+func newMem(model memsim.Model, procs int) *memsim.Memory {
+	return memsim.New(memsim.Config{Model: model, Procs: procs})
+}
+
+func runToDone(t *testing.T, step func() bool, bound int, what string) int {
+	t.Helper()
+	for i := 1; i <= bound; i++ {
+		if step() {
+			return i
+		}
+	}
+	t.Fatalf("%s did not complete within %d steps", what, bound)
+	return 0
+}
+
+func TestSetThenWaitReturnsImmediately(t *testing.T) {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			mem := newMem(model, 2)
+			sig := Alloc(mem, 0)
+
+			s := NewSetter(mem, 0)
+			s.Begin(sig)
+			runToDone(t, s.Step, 10, "set()")
+			if State(mem, sig) != 1 {
+				t.Fatal("State != 1 after set()")
+			}
+
+			w := NewWaiter(mem, 1)
+			w.Begin(sig)
+			n := runToDone(t, w.Step, 10, "wait()")
+			if n > 5 {
+				t.Fatalf("wait() after set took %d steps, want <= 5", n)
+			}
+		})
+	}
+}
+
+func TestWaitBlocksUntilSet(t *testing.T) {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			mem := newMem(model, 2)
+			sig := Alloc(mem, 0)
+
+			w := NewWaiter(mem, 1)
+			w.Begin(sig)
+			for i := 0; i < 100; i++ {
+				if w.Step() {
+					t.Fatal("wait() returned before set()")
+				}
+			}
+			if !w.Spinning() {
+				t.Fatal("waiter should be in its local spin")
+			}
+
+			s := NewSetter(mem, 0)
+			s.Begin(sig)
+			runToDone(t, s.Step, 10, "set()")
+			runToDone(t, w.Step, 10, "wait() after set")
+		})
+	}
+}
+
+func TestRMRConstantOnBothModels(t *testing.T) {
+	// Theorem 1(v): set() and wait() incur O(1) RMRs each. The waiter is
+	// made to spin many times before the setter arrives; the spin must be
+	// free on DSM (own partition) and at most two misses on CC (cold read +
+	// one invalidation by the wake write).
+	tests := []struct {
+		model                memsim.Model
+		maxWaiter, maxSetter uint64
+	}{
+		{memsim.CC, 6, 3},
+		{memsim.DSM, 4, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.model.String(), func(t *testing.T) {
+			mem := newMem(tt.model, 2)
+			sig := Alloc(mem, 0) // signal homed at the setter's partition
+
+			w := NewWaiter(mem, 1)
+			w.Begin(sig)
+			for i := 0; i < 1000; i++ {
+				w.Step()
+			}
+			s := NewSetter(mem, 0)
+			s.Begin(sig)
+			runToDone(t, s.Step, 10, "set()")
+			runToDone(t, w.Step, 10, "wait()")
+
+			if got := mem.Stats(1).RMRs; got > tt.maxWaiter {
+				t.Fatalf("waiter RMRs = %d, want <= %d (spin must be local)", got, tt.maxWaiter)
+			}
+			if got := mem.Stats(0).RMRs; got > tt.maxSetter {
+				t.Fatalf("setter RMRs = %d, want <= %d", got, tt.maxSetter)
+			}
+		})
+	}
+}
+
+func TestWaiterCrashAndReExecute(t *testing.T) {
+	// A crashed waiter restarts wait() from scratch (fresh spin variable,
+	// per Figure 2 line 5). The old published GoAddr is simply overwritten.
+	mem := newMem(memsim.DSM, 2)
+	sig := Alloc(mem, 0)
+
+	w := NewWaiter(mem, 1)
+	w.Begin(sig)
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	w.Crash()
+	if !w.Done() {
+		t.Fatal("crashed waiter should be idle")
+	}
+	w.Begin(sig)
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+
+	s := NewSetter(mem, 0)
+	s.Begin(sig)
+	runToDone(t, s.Step, 10, "set()")
+	runToDone(t, w.Step, 10, "wait() after crash and re-execute")
+}
+
+func TestSetterCrashMidwayThenReExecute(t *testing.T) {
+	// Crash the setter after each possible prefix of its steps, re-execute
+	// set() from scratch, and require that a waiter always gets released.
+	for prefix := 0; prefix <= 2; prefix++ {
+		mem := newMem(memsim.DSM, 2)
+		sig := Alloc(mem, 0)
+
+		w := NewWaiter(mem, 1)
+		w.Begin(sig)
+		for i := 0; i < 6; i++ {
+			w.Step()
+		}
+
+		s := NewSetter(mem, 0)
+		s.Begin(sig)
+		for i := 0; i < prefix; i++ {
+			s.Step()
+		}
+		s.Crash()
+		s.Begin(sig)
+		runToDone(t, s.Step, 10, "re-executed set()")
+		runToDone(t, w.Step, 10, "wait()")
+	}
+}
+
+func TestForceSetInitializesSpecialNodeSemantics(t *testing.T) {
+	mem := newMem(memsim.CC, 1)
+	sig := Alloc(mem, memsim.HomeShared)
+	ForceSet(mem, sig)
+	w := NewWaiter(mem, 0)
+	w.Begin(sig)
+	n := runToDone(t, w.Step, 10, "wait() on force-set signal")
+	if n > 5 {
+		t.Fatalf("wait() on pre-set signal took %d steps", n)
+	}
+}
+
+// TestExhaustiveInterleavings explores every interleaving of one set()
+// against one wait() (after the waiter's local allocation, which has no
+// shared effect) and asserts Theorem 1's properties on every path:
+//
+//	(ii) when wait() returns, State is 1;
+//	(iii) set() completes in a bounded number of its own steps;
+//	(iv) once State is 1, wait() completes within a small bound of the
+//	     waiter's own steps.
+func TestExhaustiveInterleavings(t *testing.T) {
+	for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			paths := 0
+			var explore func(mem *memsim.Memory, s Setter, w Waiter, spinsSinceSetterStep int)
+			explore = func(mem *memsim.Memory, s Setter, w Waiter, spins int) {
+				if s.Done() && w.Done() {
+					paths++
+					if State(mem, sigAddrForTest) != 1 {
+						t.Fatal("terminal state with State != 1")
+					}
+					return
+				}
+				if w.Done() && !s.Done() {
+					// Property (iii): setter alone finishes quickly.
+					snap := mem.Snapshot()
+					s2 := s
+					runToDone(t, s2.Step, 4, "set() alone")
+					mem.Restore(snap)
+				}
+				if !w.Done() && s.Done() {
+					// Property (iv): State is 1, waiter alone must finish.
+					snap := mem.Snapshot()
+					w2 := w
+					if State(mem, sigAddrForTest) != 1 {
+						t.Fatal("setter done but State != 1")
+					}
+					runToDone(t, w2.Step, 6, "wait() alone after set")
+					mem.Restore(snap)
+				}
+				if !s.Done() {
+					snap := mem.Snapshot()
+					s2, w2 := s, w
+					s2.Step()
+					explore(mem, s2, w2, 0)
+					mem.Restore(snap)
+				}
+				if !w.Done() {
+					// Prune unbounded spinning: scheduling a pure spin twice
+					// without an intervening setter step revisits the same
+					// state.
+					if w.Spinning() && spins > 0 {
+						return
+					}
+					snap := mem.Snapshot()
+					s2, w2 := s, w
+					done := w2.Step()
+					ns := spins + 1
+					if done || !w2.Spinning() {
+						ns = spins
+					}
+					explore(mem, s2, w2, ns)
+					mem.Restore(snap)
+				}
+			}
+
+			mem := newMem(model, 2)
+			sig := Alloc(mem, 0)
+			sigAddrForTest = sig
+			w := NewWaiter(mem, 1)
+			w.Begin(sig)
+			w.Step() // line 5: local allocation, fixed before branching
+			s := NewSetter(mem, 0)
+			s.Begin(sig)
+			explore(mem, s, w, 0)
+			if paths < 20 {
+				t.Fatalf("explored only %d interleavings; expected many more", paths)
+			}
+			t.Logf("explored %d interleavings", paths)
+		})
+	}
+}
+
+// sigAddrForTest lets the recursive explorer assert on the signal under
+// test without threading it through every frame.
+var sigAddrForTest memsim.Addr
+
+func TestStepWhenIdleIsNoOp(t *testing.T) {
+	mem := newMem(memsim.DSM, 1)
+	s := NewSetter(mem, 0)
+	if !s.Step() || !s.Done() {
+		t.Fatal("idle setter Step should be a done no-op")
+	}
+	w := NewWaiter(mem, 0)
+	if !w.Step() || !w.Done() {
+		t.Fatal("idle waiter Step should be a done no-op")
+	}
+}

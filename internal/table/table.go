@@ -1,0 +1,112 @@
+// Package table renders the plain-text, column-aligned tables the
+// benchmark harness prints (and that EXPERIMENTS.md records).
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells. The zero value is usable.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends one row; cells beyond the header width are kept as-is.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddF appends one row, formatting each cell with %v.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = F1(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the cell at (row, col); empty if out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.rows) || col < 0 || col >= len(t.rows[row]) {
+		return ""
+	}
+	return t.rows[row][col]
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }

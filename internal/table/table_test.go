@@ -1,0 +1,47 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendering(t *testing.T) {
+	tb := New("demo", "k", "RMR/passage")
+	tb.Add("2", "9.0")
+	tb.Add("64", "9.1")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "RMR/passage") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("rows not aligned:\n%s", out)
+	}
+}
+
+func TestAddFFormatsFloats(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddF(3, 1.25)
+	if got := tb.Cell(0, 1); got != "1.2" && got != "1.3" {
+		t.Fatalf("float cell = %q", got)
+	}
+	if got := tb.Cell(0, 0); got != "3" {
+		t.Fatalf("int cell = %q", got)
+	}
+}
+
+func TestCellOutOfRange(t *testing.T) {
+	tb := New("", "a")
+	if tb.Cell(0, 0) != "" || tb.Cell(-1, 2) != "" {
+		t.Fatal("out-of-range cells should be empty")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F1(1.26) != "1.3" || F2(1.256) != "1.26" {
+		t.Fatalf("F1/F2 wrong: %s %s", F1(1.26), F2(1.256))
+	}
+}

@@ -1,0 +1,348 @@
+// Package tree implements the paper's Section 3.3 construction: n processes
+// compete on an arbitration tree whose internal nodes are instances of the
+// k-ported core algorithm (internal/core) with k = Θ(log n / log log n)
+// ports. A process climbs from its leaf to the root, acquiring each node's
+// critical section, holds the outer CS at the top, and releases the nodes
+// top-down on exit.
+//
+// Recoverability (Theorem 3): a single NVRAM phase word per process records
+// whether it was climbing (up), holding the CS (cs), or releasing (down).
+//
+//   - crash while climbing: the process re-climbs from its leaf. Nodes it
+//     already held are re-entered wait-free through the core algorithm's own
+//     recovery (line 20: Pred = &InCS ⇒ straight to that node's CS), so a
+//     crash costs O(height) plus one node repair: O((1+f)·log n/log log n)
+//     RMRs per super-passage with f crashes.
+//   - crash in the CS: recovery reads the phase word and returns to the CS
+//     immediately (wait-free CSR); every tree node is still held.
+//   - crash while releasing: the phase word also stores a release cursor
+//     (the highest level not yet known released), and recovery replays the
+//     release from the cursor downward using the core algorithm's idempotent
+//     exit recovery. Replaying from the cursor — never from the root — is
+//     essential: once a level is released, its port can legitimately be
+//     claimed by a sibling process, so touching it again would corrupt the
+//     sibling's passage. Levels at and below the cursor are still held and
+//     therefore safe to replay.
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/memsim"
+)
+
+// Phase values stored in the per-process NVRAM phase word. During the down
+// phase the word also carries a release cursor (the highest level not yet
+// known to be released) in its upper bits: phase | cursor<<phaseShift.
+// The cursor is what makes the release replay safe: replaying always starts
+// at the cursor, never above it, because a released upper node's port may
+// already have been claimed by a sibling process (the levels *below* the
+// cursor are still held, so the cursor level itself cannot have been
+// reused).
+const (
+	phaseIdle = 0
+	phaseUp   = 1
+	phaseCS   = 2
+	phaseDown = 3
+
+	phaseShift = 4
+	phaseMask  = (1 << phaseShift) - 1
+)
+
+func encodeDown(cursor int) memsim.Word {
+	if cursor < 0 { // degenerate single-process tree: nothing to release
+		return phaseDown
+	}
+	return memsim.Word(phaseDown | cursor<<phaseShift)
+}
+
+// Config parameterizes a Tree.
+type Config struct {
+	// Procs is n, the number of processes.
+	Procs int
+	// Arity is the tree degree; 0 selects the paper's
+	// max(2, ⌈log₂ n / log₂ log₂ n⌉).
+	Arity int
+}
+
+// DefaultArity returns the paper's node degree for n processes.
+func DefaultArity(n int) int {
+	if n <= 4 {
+		return 2
+	}
+	lg := math.Log2(float64(n))
+	a := int(math.Ceil(lg / math.Log2(lg)))
+	if a < 2 {
+		return 2
+	}
+	return a
+}
+
+// Tree is the shared NVRAM layout: the node instances and the per-process
+// phase words. Immutable after construction.
+type Tree struct {
+	mem    *memsim.Memory
+	n      int
+	arity  int
+	levels int
+	// nodes[l][g] is the core instance for group g at level l
+	// (level 0 is adjacent to the leaves; level levels-1 is the root).
+	nodes [][]*core.Shared
+	// phase + proc is the process's phase word.
+	phase memsim.Addr
+}
+
+// New allocates an arbitration tree in mem.
+func New(mem *memsim.Memory, cfg Config) *Tree {
+	if cfg.Procs <= 0 {
+		panic("tree: Procs must be positive")
+	}
+	arity := cfg.Arity
+	if arity == 0 {
+		arity = DefaultArity(cfg.Procs)
+	}
+	if arity < 2 {
+		panic("tree: arity must be at least 2")
+	}
+	t := &Tree{mem: mem, n: cfg.Procs, arity: arity}
+	groups := cfg.Procs
+	for groups > 1 {
+		groups = (groups + arity - 1) / arity
+		level := make([]*core.Shared, groups)
+		for g := range level {
+			level[g] = core.NewShared(mem, core.Config{Ports: arity})
+		}
+		t.nodes = append(t.nodes, level)
+		t.levels++
+	}
+	t.phase = mem.Alloc(memsim.HomeShared, cfg.Procs)
+	return t
+}
+
+// Levels returns the tree height (number of core instances on any
+// leaf-to-root path).
+func (t *Tree) Levels() int { return t.levels }
+
+// Arity returns the node degree.
+func (t *Tree) Arity() int { return t.arity }
+
+// Nodes returns the node instances (checkers and tests).
+func (t *Tree) Nodes() [][]*core.Shared { return t.nodes }
+
+// position returns the (group, port) of process i at level l.
+func (t *Tree) position(i, l int) (group, port int) {
+	div := 1
+	for j := 0; j < l; j++ {
+		div *= t.arity
+	}
+	return i / (div * t.arity), (i / div) % t.arity
+}
+
+func (t *Tree) phaseWord(proc int) memsim.Addr {
+	return t.phase + memsim.Addr(proc)
+}
+
+// Handle program counters.
+const (
+	pcIdle      = 0
+	pcReadPhase = 1
+	pcWriteUp   = 2
+	pcClimb     = 3
+	pcWriteCS   = 4
+	pcWriteDown = 5
+	pcRelease   = 6
+	pcCursor    = 7 // advances the NVRAM release cursor between levels
+	pcWriteEnd  = 8 // writes idle; in relock mode continues with a climb
+)
+
+// Handle is one process's step machine over the tree. Per-level core
+// handles are part of the process's identity (fixed ports); their volatile
+// registers are wiped on crash like everything else.
+type Handle struct {
+	t    *Tree
+	proc int
+
+	perLevel []*core.Handle
+
+	pc     int
+	lvl    int
+	relock bool
+}
+
+// NewHandle builds the step machine for process proc.
+func NewHandle(t *Tree, proc int) *Handle {
+	if proc < 0 || proc >= t.n {
+		panic(fmt.Sprintf("tree: proc %d out of range [0,%d)", proc, t.n))
+	}
+	h := &Handle{t: t, proc: proc}
+	h.perLevel = make([]*core.Handle, t.levels)
+	for l := 0; l < t.levels; l++ {
+		g, port := t.position(proc, l)
+		h.perLevel[l] = core.NewHandle(t.nodes[l][g], proc, port)
+	}
+	return h
+}
+
+// PC exposes a composite program counter: the tree phase in the thousands
+// digit plus the current level's core PC.
+func (h *Handle) PC() int {
+	switch h.pc {
+	case pcClimb, pcRelease:
+		return 1000*h.pc + h.perLevel[h.lvl].PC()
+	default:
+		return 1000 * h.pc
+	}
+}
+
+// Done reports no operation in flight.
+func (h *Handle) Done() bool { return h.pc == pcIdle }
+
+// Level returns the level the handle is operating on (tests).
+func (h *Handle) Level() int { return h.lvl }
+
+// LevelHandles exposes the per-level core handles (checkers).
+func (h *Handle) LevelHandles() []*core.Handle { return h.perLevel }
+
+// InCS reports whether the process holds the outer critical section: it is
+// the root node's CS holder. (Phase may lag by one step: the phase word is
+// written after the root is won.)
+func (h *Handle) InCS() bool {
+	if h.t.levels == 0 {
+		return h.pc == pcIdle && h.t.mem.Peek(h.t.phaseWord(h.proc)) == phaseCS
+	}
+	return h.perLevel[h.t.levels-1].InCS() && h.pc == pcIdle
+}
+
+// BeginLock starts (or, after a crash, recovers) the outer Try section.
+func (h *Handle) BeginLock() {
+	if h.pc != pcIdle {
+		panic("tree: BeginLock while an operation is in flight")
+	}
+	h.pc = pcReadPhase
+	h.relock = false
+}
+
+// BeginUnlock starts the outer Exit section.
+func (h *Handle) BeginUnlock() {
+	if h.pc != pcIdle {
+		panic("tree: BeginUnlock while an operation is in flight")
+	}
+	h.pc = pcWriteDown
+	h.relock = false
+}
+
+// Crash wipes all volatile registers, including the per-level machines.
+func (h *Handle) Crash() {
+	h.pc = pcIdle
+	h.lvl = 0
+	h.relock = false
+	for _, ch := range h.perLevel {
+		ch.Crash()
+	}
+}
+
+// Step executes one atomic step, returning true when the operation begun by
+// BeginLock/BeginUnlock completes.
+func (h *Handle) Step() bool {
+	mem, t := h.t.mem, h.t
+	switch h.pc {
+	case pcIdle:
+		return true
+
+	case pcReadPhase:
+		word := mem.Read(h.proc, t.phaseWord(h.proc))
+		switch int(word) & phaseMask {
+		case phaseCS:
+			// Crashed inside the CS: all levels are still held.
+			h.pc = pcIdle
+			return true
+		case phaseDown:
+			// Crashed mid-release: replay from the stored cursor (levels
+			// above it are done and their ports may already be in use by
+			// sibling processes), then climb afresh.
+			h.relock = true
+			h.lvl = int(word) >> phaseShift
+			if h.lvl < 0 || t.levels == 0 {
+				h.pc = pcWriteEnd
+			} else {
+				h.perLevel[h.lvl].BeginExitRecover()
+				h.pc = pcRelease
+			}
+		default: // idle or up
+			h.pc = pcWriteUp
+		}
+
+	case pcWriteUp:
+		mem.Write(h.proc, t.phaseWord(h.proc), phaseUp)
+		h.lvl = 0
+		if t.levels == 0 {
+			h.pc = pcWriteCS
+		} else {
+			h.perLevel[0].BeginLock()
+			h.pc = pcClimb
+		}
+
+	case pcClimb:
+		if h.perLevel[h.lvl].Step() {
+			h.lvl++
+			if h.lvl == t.levels {
+				h.pc = pcWriteCS
+			} else {
+				h.perLevel[h.lvl].BeginLock()
+			}
+		}
+
+	case pcWriteCS:
+		mem.Write(h.proc, t.phaseWord(h.proc), phaseCS)
+		h.pc = pcIdle
+		return true
+
+	case pcWriteDown:
+		mem.Write(h.proc, t.phaseWord(h.proc), encodeDown(t.levels-1))
+		h.lvl = t.levels - 1
+		if h.lvl < 0 {
+			h.pc = pcWriteEnd
+		} else {
+			h.perLevel[h.lvl].BeginExitRecover()
+			h.pc = pcRelease
+		}
+
+	case pcRelease:
+		if h.perLevel[h.lvl].Step() {
+			if h.lvl == 0 {
+				h.pc = pcWriteEnd
+			} else {
+				h.pc = pcCursor
+			}
+		}
+
+	case pcCursor:
+		mem.Write(h.proc, t.phaseWord(h.proc), encodeDown(h.lvl-1))
+		h.lvl--
+		h.perLevel[h.lvl].BeginExitRecover()
+		h.pc = pcRelease
+
+	case pcWriteEnd:
+		if h.relock {
+			h.relock = false
+			mem.Write(h.proc, t.phaseWord(h.proc), phaseUp)
+			h.lvl = 0
+			if t.levels == 0 {
+				h.pc = pcWriteCS
+			} else {
+				h.perLevel[0].BeginLock()
+				h.pc = pcClimb
+			}
+		} else {
+			mem.Write(h.proc, t.phaseWord(h.proc), phaseIdle)
+			h.pc = pcIdle
+			return true
+		}
+
+	default:
+		panic(fmt.Sprintf("tree: corrupt pc %d", h.pc))
+	}
+	return h.pc == pcIdle
+}

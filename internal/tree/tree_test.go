@@ -1,0 +1,302 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rmelib/rme/internal/core"
+	"github.com/rmelib/rme/internal/memsim"
+	"github.com/rmelib/rme/internal/sched"
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+func newWorld(t testing.TB, model memsim.Model, n, dwell int) (*memsim.Memory, *Tree, []*Proc) {
+	t.Helper()
+	mem := memsim.New(memsim.Config{Model: model, Procs: n})
+	tr := New(mem, Config{Procs: n})
+	procs := make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = NewProc(mem, tr, i, dwell)
+	}
+	return mem, tr, procs
+}
+
+func asSched(ps []*Proc) []sched.Proc {
+	out := make([]sched.Proc, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+func countCS(ps []*Proc) int {
+	n := 0
+	for _, p := range ps {
+		if p.Section() == sched.CS {
+			n++
+		}
+	}
+	return n
+}
+
+// nodeCheckers builds an invariant checker per tree node, mapping each
+// process's per-level core handle to its node instance.
+func nodeCheckers(tr *Tree, procs []*Proc) []*core.Checker {
+	perNode := make(map[*core.Shared][]*core.Handle)
+	for _, p := range procs {
+		for l, ch := range p.Handle().LevelHandles() {
+			g, _ := tr.position(p.ID(), l)
+			sh := tr.Nodes()[l][g]
+			perNode[sh] = append(perNode[sh], ch)
+		}
+	}
+	var cks []*core.Checker
+	for sh, hs := range perNode {
+		cks = append(cks, core.NewHandleChecker(sh, hs))
+	}
+	return cks
+}
+
+func TestDefaultArity(t *testing.T) {
+	tests := []struct {
+		n, arity int
+	}{
+		{2, 2}, {4, 2}, {8, 2}, {16, 2}, {64, 3}, {256, 3}, {1024, 4}, {4096, 4},
+	}
+	for _, tt := range tests {
+		if got := DefaultArity(tt.n); got != tt.arity {
+			t.Errorf("DefaultArity(%d) = %d, want %d", tt.n, got, tt.arity)
+		}
+	}
+}
+
+func TestLevelsAndPositions(t *testing.T) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 9})
+	tr := New(mem, Config{Procs: 9, Arity: 3})
+	if tr.Levels() != 2 {
+		t.Fatalf("levels = %d, want 2", tr.Levels())
+	}
+	if len(tr.Nodes()[0]) != 3 || len(tr.Nodes()[1]) != 1 {
+		t.Fatalf("node counts = %d,%d want 3,1", len(tr.Nodes()[0]), len(tr.Nodes()[1]))
+	}
+	g, p := tr.position(7, 0)
+	if g != 2 || p != 1 {
+		t.Fatalf("position(7,0) = (%d,%d), want (2,1)", g, p)
+	}
+	g, p = tr.position(7, 1)
+	if g != 0 || p != 2 {
+		t.Fatalf("position(7,1) = (%d,%d), want (0,2)", g, p)
+	}
+}
+
+func TestSingleProcess(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 1, 1)
+	r := &sched.Runner{Procs: asSched(procs), StopWhen: sched.AllPassagesAtLeast(asSched(procs), 5)}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutualExclusionNoCrashes(t *testing.T) {
+	for _, n := range []int{2, 4, 6, 9, 16} {
+		for _, model := range []memsim.Model{memsim.CC, memsim.DSM} {
+			t.Run(fmt.Sprintf("n%d_%s", n, model), func(t *testing.T) {
+				_, tr, procs := newWorld(t, model, n, 1)
+				cks := nodeCheckers(tr, procs)
+				var fail error
+				r := &sched.Runner{
+					Procs: asSched(procs),
+					Sched: sched.Random{Src: xrand.New(uint64(n)*17 + uint64(model))},
+					OnStep: func(sched.StepEvent) {
+						if fail != nil {
+							return
+						}
+						if countCS(procs) > 1 {
+							fail = fmt.Errorf("two clients in outer CS")
+							return
+						}
+						for _, ck := range cks {
+							if err := ck.Check(); err != nil {
+								fail = err
+								return
+							}
+						}
+					},
+					StopWhen: sched.AllPassagesAtLeast(asSched(procs), 8),
+				}
+				if err := r.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if fail != nil {
+					t.Fatal(fail)
+				}
+			})
+		}
+	}
+}
+
+func TestMutualExclusionWithCrashes(t *testing.T) {
+	for _, n := range []int{4, 9} {
+		for seed := uint64(0); seed < 6; seed++ {
+			t.Run(fmt.Sprintf("n%d_seed%d", n, seed), func(t *testing.T) {
+				_, tr, procs := newWorld(t, memsim.DSM, n, 1)
+				cks := nodeCheckers(tr, procs)
+				rng := xrand.New(seed*733 + uint64(n))
+				var fail error
+				r := &sched.Runner{
+					Procs: asSched(procs),
+					Sched: sched.Random{Src: rng},
+					Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 80, Budget: 25},
+					OnStep: func(sched.StepEvent) {
+						if fail != nil {
+							return
+						}
+						if countCS(procs) > 1 {
+							fail = fmt.Errorf("two clients in outer CS")
+							return
+						}
+						for _, ck := range cks {
+							if err := ck.Check(); err != nil {
+								fail = err
+								return
+							}
+						}
+					},
+					StopWhen: sched.AllPassagesAtLeast(asSched(procs), 5),
+					MaxSteps: 1 << 23,
+				}
+				if err := r.Run(); err != nil {
+					t.Fatalf("wedged: %v (crashes=%d)", err, r.TotalCrashes())
+				}
+				if fail != nil {
+					t.Fatal(fail)
+				}
+			})
+		}
+	}
+}
+
+func TestCSRAfterCrashInCS(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 4, 3)
+	d := sched.NewDriver(asSched(procs)...)
+	if !d.StepUntilSection(0, sched.CS) {
+		t.Fatal("no CS")
+	}
+	for id := 1; id < 4; id++ {
+		d.Step(id, 40)
+	}
+	d.Crash(0)
+	for i := 0; i < 400; i++ {
+		for id := 1; id < 4; id++ {
+			d.Step(id, 1)
+			if countCS(procs) > 0 {
+				t.Fatal("CSR violated across the tree")
+			}
+		}
+	}
+	steps := 0
+	for procs[0].Section() != sched.CS {
+		d.Step(0, 1)
+		steps++
+		if steps > 10 {
+			t.Fatalf("crashed holder took %d steps to re-enter CS, want wait-free", steps)
+		}
+	}
+}
+
+func TestExitBoundedByHeight(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		_, tr, procs := newWorld(t, memsim.DSM, n, 0)
+		d := sched.NewDriver(asSched(procs)...)
+		if !d.StepUntilSection(0, sched.CS) {
+			t.Fatal("no CS")
+		}
+		if !d.StepUntilSection(0, sched.Exit) {
+			t.Fatal("no Exit")
+		}
+		bound := 4 + 10*tr.Levels()
+		steps := 0
+		for procs[0].Section() == sched.Exit {
+			d.Step(0, 1)
+			steps++
+			if steps > bound {
+				t.Fatalf("n=%d: exit exceeded %d steps", n, bound)
+			}
+		}
+	}
+}
+
+func TestPassageRMRScalesWithHeight(t *testing.T) {
+	// Theorem 3 (experiment E4): crash-free passage cost is O(levels), i.e.
+	// O(log n / log log n) — not O(n), not O(1). Verify an envelope
+	// proportional to the height.
+	const perLevel = 45.0
+	for _, n := range []int{4, 16, 64} {
+		mem, tr, procs := newWorld(t, memsim.DSM, n, 0)
+		r := &sched.Runner{
+			Procs:    asSched(procs),
+			Sched:    sched.Random{Src: xrand.New(uint64(n))},
+			StopWhen: sched.AllPassagesAtLeast(asSched(procs), 6),
+			MaxSteps: 1 << 24,
+		}
+		if err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range procs {
+			per := float64(mem.Stats(i).RMRs) / float64(p.Passages())
+			if limit := perLevel * float64(tr.Levels()); per > limit {
+				t.Errorf("n=%d proc %d: %.1f RMRs/passage > %.1f (O(height) expected)",
+					n, i, per, limit)
+			}
+		}
+	}
+}
+
+func TestCrashStormThenQuiescence(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 6, 1)
+	rng := xrand.New(4242)
+	r := &sched.Runner{
+		Procs: asSched(procs),
+		Sched: sched.Random{Src: rng},
+		Crash: &sched.RandomCrash{Src: rng.Fork(), RateN: 1, RateD: 25, Budget: 80},
+	}
+	r.StopWhen = func() bool { return r.TotalCrashes() >= 80 }
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	base := procs[0].Passages()
+	r2 := &sched.Runner{
+		Procs:    asSched(procs),
+		Sched:    sched.Random{Src: rng.Fork()},
+		StopWhen: sched.AllPassagesAtLeast(asSched(procs), base+5),
+	}
+	if err := r2.Run(); err != nil {
+		t.Fatalf("no progress after storm: %v", err)
+	}
+}
+
+func TestStarvationFreedomSkewed(t *testing.T) {
+	_, _, procs := newWorld(t, memsim.DSM, 4, 0)
+	r := &sched.Runner{
+		Procs:    asSched(procs),
+		Sched:    sched.NewWeightedRandom(xrand.New(6), []int{30, 30, 30, 1}),
+		StopWhen: func() bool { return procs[3].Passages() >= 3 },
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("light process starved: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mem := memsim.New(memsim.Config{Model: memsim.DSM, Procs: 1})
+	for _, cfg := range []Config{{Procs: 0}, {Procs: 4, Arity: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(mem, cfg)
+		}()
+	}
+}

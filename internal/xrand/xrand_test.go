@@ -1,0 +1,119 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 1000 draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkDecorrelates(t *testing.T) {
+	r := New(5)
+	f := r.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("fork produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// A coarse chi-square-free sanity check: each of 16 buckets should get
+	// roughly 1/16 of 64k draws (within 20%).
+	r := New(123)
+	const draws = 1 << 16
+	var buckets [16]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Uint64()&15]++
+	}
+	want := draws / 16
+	for i, got := range buckets {
+		if got < want*8/10 || got > want*12/10 {
+			t.Fatalf("bucket %d: got %d, want about %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

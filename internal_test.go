@@ -1,0 +1,179 @@
+package rme
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// White-box tests for the unexported runtime building blocks: the Signal
+// object port and the recoverable tournament lock port.
+
+func TestSignalSetThenWait(t *testing.T) {
+	var s signal
+	s.set()
+	done := make(chan struct{})
+	go func() {
+		s.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wait() after set() did not return")
+	}
+}
+
+func TestSignalWaitThenSet(t *testing.T) {
+	var s signal
+	done := make(chan struct{})
+	go func() {
+		s.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("wait() returned before set()")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.set()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wait() never released after set()")
+	}
+}
+
+func TestSignalReExecutedWaitAfterAbandonment(t *testing.T) {
+	// A waiter "crashes" (abandons its published spin variable); the
+	// re-executed wait must still be released by a later set. This is the
+	// paper's fresh-boolean-per-wait property (Figure 2, line 5).
+	var s signal
+	abandoned := make(chan struct{})
+	go func() {
+		// Simulate the pre-crash prefix of wait(): publish, then die.
+		g := new(atomic.Bool)
+		s.goAddr.Store(g)
+		close(abandoned)
+	}()
+	<-abandoned
+	done := make(chan struct{})
+	go func() {
+		s.wait() // the recovered process re-executes wait()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.set()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("re-executed wait() was not released")
+	}
+}
+
+func TestSignalForceSet(t *testing.T) {
+	var s signal
+	s.forceSet()
+	if !s.isSet() {
+		t.Fatal("forceSet did not set")
+	}
+	s.wait() // must return immediately (same goroutine: would hang otherwise)
+}
+
+func TestRLockMutualExclusion(t *testing.T) {
+	const ports, iters = 8, 300
+	m := New(ports) // provides the crash hook plumbing for rlock
+	counter := 0    // race detector referee
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for p := 0; p < ports; p++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.rl.lock(m, port)
+				if inside.Add(1) != 1 {
+					t.Errorf("two ports inside the rlock CS")
+				}
+				counter++
+				inside.Add(-1)
+				m.rl.unlock(m, port)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if counter != ports*iters {
+		t.Fatalf("counter = %d, want %d", counter, ports*iters)
+	}
+}
+
+func TestRLockCSRStage(t *testing.T) {
+	m := New(2)
+	m.rl.lock(m, 0)
+	// Simulate a crash while holding: a fresh lock call on the same port
+	// must return immediately (stage = inCS).
+	done := make(chan struct{})
+	go func() {
+		m.rl.lock(m, 0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("rlock CSR re-entry blocked")
+	}
+	m.rl.unlock(m, 0)
+}
+
+func TestRLockExitReplayAfterCrash(t *testing.T) {
+	// Crash mid-exit (stage exiting, flags partially cleared), then a new
+	// lock call must replay the exit and acquire afresh — while a rival
+	// also gets its turn.
+	m := New(2)
+	m.rl.lock(m, 0)
+	m.rl.stage[0].Store(rlExiting) // crashed just after declaring the exit
+
+	acquired := make(chan int, 2)
+	go func() {
+		m.rl.lock(m, 1)
+		acquired <- 1
+		m.rl.unlock(m, 1)
+	}()
+	go func() {
+		m.rl.lock(m, 0) // replays the exit, then climbs
+		acquired <- 0
+		m.rl.unlock(m, 0)
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-acquired:
+		case <-time.After(5 * time.Second):
+			t.Fatal("exit replay deadlocked the rlock")
+		}
+	}
+}
+
+func TestMaximalQPathsShapes(t *testing.T) {
+	a, b, c, d := new(qnode), new(qnode), new(qnode), new(qnode)
+	vertices := map[*qnode]struct{}{a: {}, b: {}, c: {}, d: {}}
+	out := map[*qnode]*qnode{a: b, b: c} // a -> b -> c, d isolated
+	paths := maximalQPaths(vertices, out)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		switch p[0] {
+		case a:
+			if len(p) != 3 || p[2] != c {
+				t.Fatalf("chain path wrong: %v", p)
+			}
+		case d:
+			if len(p) != 1 {
+				t.Fatalf("singleton path wrong: %v", p)
+			}
+		default:
+			t.Fatalf("unexpected path start")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package rme
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// qnode is a queue node (the paper's QNode): one per passage, holding the
+// predecessor pointer and the two hand-off signals.
+type qnode struct {
+	pred   atomic.Pointer[qnode]
+	nonNil signal // set once pred is non-nil (used by repairs)
+	cs     signal // set when the owner leaves the CS (releases the successor)
+}
+
+// Mutex is a k-ported recoverable mutual-exclusion lock: the runtime port
+// of the paper's Figures 3–4 algorithm. All shared state lives on the heap
+// owned by the Mutex (the stand-in for non-volatile memory); goroutines
+// participating in the protocol keep no state of their own that matters,
+// so any of them can be replaced after a crash by calling Lock on the same
+// port.
+//
+// A Mutex must be created with New. Methods are safe for concurrent use,
+// under the port discipline documented in the package comment.
+type Mutex struct {
+	ports int
+
+	// Sentinels (Figure 3): distinct nodes whose Pred points to themselves;
+	// special is the pre-completed node the first queue entry hangs off.
+	crashN, incsN, exitN, specialN *qnode
+
+	tail    atomic.Pointer[qnode]
+	node    []atomic.Pointer[qnode]
+	rl      *rlock
+	crashFn atomic.Pointer[CrashFunc]
+}
+
+// New creates a recoverable mutex with the given number of ports (the
+// maximum number of concurrent super-passages, usually the worker count).
+func New(ports int) *Mutex {
+	if ports <= 0 {
+		panic("rme: New needs at least one port")
+	}
+	m := &Mutex{
+		ports:    ports,
+		crashN:   new(qnode),
+		incsN:    new(qnode),
+		exitN:    new(qnode),
+		specialN: new(qnode),
+		node:     make([]atomic.Pointer[qnode], ports),
+		rl:       newRLock(ports),
+	}
+	m.crashN.pred.Store(m.crashN)
+	m.incsN.pred.Store(m.incsN)
+	m.exitN.pred.Store(m.exitN)
+	m.specialN.pred.Store(m.exitN)
+	m.specialN.nonNil.forceSet()
+	m.specialN.cs.forceSet()
+	m.tail.Store(m.specialN)
+	return m
+}
+
+// Ports returns the number of ports the mutex was created with.
+func (m *Mutex) Ports() int { return m.ports }
+
+func (m *Mutex) checkPort(port int) {
+	if port < 0 || port >= m.ports {
+		panic(fmt.Sprintf("rme: port %d out of range [0,%d)", port, m.ports))
+	}
+}
+
+func (m *Mutex) isSentinel(n *qnode) bool {
+	return n == m.crashN || n == m.incsN || n == m.exitN
+}
+
+// Held reports whether port currently owns the critical section. It is
+// intended for recovery harnesses deciding whether a crashed worker died
+// inside its critical section (in which case the replacement's Lock call
+// returns immediately and application-level redo/undo may be needed).
+func (m *Mutex) Held(port int) bool {
+	m.checkPort(port)
+	n := m.node[port].Load()
+	return n != nil && n.pred.Load() == m.incsN
+}
+
+// Lock acquires the critical section through port (the paper's Try
+// section, lines 10–26). If the port's previous passage was interrupted by
+// a crash, Lock performs the recovery: wait-free re-entry if the crash was
+// inside the CS, queue repair if it broke the queue, completion of an
+// interrupted Unlock otherwise.
+func (m *Mutex) Lock(port int) {
+	m.checkPort(port)
+	for {
+		m.cp(port, "L10")
+		n := m.node[port].Load()
+		if n == nil {
+			// Fresh passage: enqueue with one FAS.
+			m.cp(port, "L11")
+			n = new(qnode)
+			m.cp(port, "L12")
+			m.node[port].Store(n)
+			m.cp(port, "L13")
+			pred := m.tail.Swap(n)
+			m.cp(port, "L14")
+			n.pred.Store(pred)
+			m.cp(port, "L15")
+			n.nonNil.set()
+			m.cp(port, "L25")
+			pred.cs.wait()
+			m.cp(port, "L26")
+			n.pred.Store(m.incsN)
+			return
+		}
+
+		// Recovery (lines 17–24).
+		m.cp(port, "L18")
+		if n.pred.Load() == nil {
+			n.pred.Store(m.crashN)
+		}
+		m.cp(port, "L19")
+		pred := n.pred.Load()
+		switch pred {
+		case m.incsN: // line 20: crashed inside the CS
+			return
+		case m.exitN: // lines 21–22: finish the interrupted exit, retry
+			m.cp(port, "L28")
+			n.cs.set()
+			m.cp(port, "L29")
+			m.node[port].Store(nil)
+			continue
+		}
+		m.cp(port, "L23")
+		n.nonNil.set()
+		m.cp(port, "L24")
+		m.rl.lock(m, port)
+		pred = m.repair(port, n, pred)
+		m.rl.unlock(m, port)
+		m.cp(port, "L25")
+		pred.cs.wait()
+		m.cp(port, "L26")
+		n.pred.Store(m.incsN)
+		return
+	}
+}
+
+// Unlock releases the critical section (the paper's wait-free Exit,
+// lines 27–29). If the calling goroutine crashes part-way through, the
+// port's next Lock call completes the release before acquiring again.
+func (m *Mutex) Unlock(port int) {
+	m.checkPort(port)
+	n := m.node[port].Load()
+	if n == nil || n.pred.Load() != m.incsN {
+		panic(fmt.Sprintf("rme: Unlock of port %d which does not hold the lock", port))
+	}
+	m.cp(port, "L27")
+	n.pred.Store(m.exitN)
+	m.cp(port, "L28")
+	n.cs.set()
+	m.cp(port, "L29")
+	m.node[port].Store(nil)
+}
+
+// repair is the critical section of RLock (Figure 4, lines 30–49): scan
+// the port table, model the broken queue as a graph, and re-attach this
+// port's fragment — by a fresh FAS on Tail if the tail fragment already
+// reaches the CS, by adopting the head fragment's start otherwise, or by
+// adopting the SpecialNode when the whole queue is down.
+func (m *Mutex) repair(port int, mynode, mypred *qnode) *qnode {
+	m.cp(port, "L30")
+	if mypred != m.crashN {
+		return mypred // already queued before the crash: nothing to fix
+	}
+	m.cp(port, "L31")
+	tail := m.tail.Load()
+	vertices := make(map[*qnode]struct{}, m.ports)
+	out := make(map[*qnode]*qnode, m.ports)
+	for i := 0; i < m.ports; i++ {
+		m.cp(port, "L33")
+		cur := m.node[i].Load()
+		if cur == nil {
+			continue
+		}
+		m.cp(port, "L35")
+		cur.nonNil.wait()
+		m.cp(port, "L36")
+		curpred := cur.pred.Load()
+		if m.isSentinel(curpred) {
+			vertices[cur] = struct{}{}
+		} else {
+			vertices[cur] = struct{}{}
+			vertices[curpred] = struct{}{}
+			out[cur] = curpred
+		}
+	}
+	paths := maximalQPaths(vertices, out)
+
+	var mypath, tailpath, headpath []*qnode
+	for _, sigma := range paths {
+		if sigma[0] == mynode || contains(sigma, mynode) {
+			mypath = sigma
+			break
+		}
+	}
+	if mypath == nil {
+		panic("rme: repairing node not in any fragment (corrupted state)")
+	}
+	if _, ok := vertices[tail]; ok {
+		for _, sigma := range paths {
+			if contains(sigma, tail) {
+				tailpath = sigma
+				break
+			}
+		}
+	}
+	for _, sigma := range paths { // lines 42–45
+		m.cp(port, "L43")
+		endPred := sigma[len(sigma)-1].pred.Load()
+		if endPred != m.incsN && endPred != m.exitN {
+			continue
+		}
+		m.cp(port, "L44")
+		if sigma[0].pred.Load() != m.exitN {
+			headpath = sigma
+		}
+	}
+
+	// Line 46: is the queue already partially repaired at the tail?
+	useFAS := tailpath == nil
+	if !useFAS {
+		m.cp(port, "L46")
+		ep := tailpath[len(tailpath)-1].pred.Load()
+		useFAS = ep == m.incsN || ep == m.exitN
+	}
+	switch {
+	case useFAS:
+		m.cp(port, "L47")
+		mypred = m.tail.Swap(mypath[0])
+	case headpath != nil: // line 48
+		mypred = headpath[0]
+	default: // line 48: the whole queue is down
+		mypred = m.specialN
+	}
+	m.cp(port, "L49")
+	mynode.pred.Store(mypred)
+	return mypred
+}
+
+func contains(path []*qnode, n *qnode) bool {
+	for _, x := range path {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// maximalQPaths computes the maximal paths of the fragment graph (line 39).
+// In every reachable state the graph is a union of disjoint simple paths
+// (the paper's invariant C23), so indegree-zero starts cover all vertices.
+func maximalQPaths(vertices map[*qnode]struct{}, out map[*qnode]*qnode) [][]*qnode {
+	indeg := make(map[*qnode]int, len(vertices))
+	for _, v := range out {
+		indeg[v]++
+	}
+	paths := make([][]*qnode, 0, len(vertices))
+	for v := range vertices {
+		if indeg[v] != 0 {
+			continue
+		}
+		p := []*qnode{v}
+		for cur := v; ; {
+			next, ok := out[cur]
+			if !ok {
+				break
+			}
+			p = append(p, next)
+			cur = next
+		}
+		paths = append(paths, p)
+	}
+	return paths
+}

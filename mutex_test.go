@@ -1,0 +1,310 @@
+package rme_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rme "github.com/rmelib/rme"
+)
+
+// lockRetry acquires the lock through port, recovering from injected
+// crashes by re-calling Lock — the library's prescribed recovery protocol.
+// It returns the number of crashes survived.
+func lockRetry(t *testing.T, m *rme.Mutex, port int) int {
+	t.Helper()
+	crashes := 0
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := rme.AsCrash(r); !isCrash {
+						panic(r)
+					}
+					ok = false
+				}
+			}()
+			m.Lock(port)
+			return true
+		}()
+		if ok {
+			return crashes
+		}
+		crashes++
+	}
+}
+
+// unlockRetry releases the lock, recovering from injected crashes: a crash
+// during Unlock means the passage did not complete, so recovery re-acquires
+// through Lock (possibly after others took their turns) and retries.
+func unlockRetry(t *testing.T, m *rme.Mutex, port int) int {
+	t.Helper()
+	crashes := 0
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := rme.AsCrash(r); !isCrash {
+						panic(r)
+					}
+					ok = false
+				}
+			}()
+			m.Unlock(port)
+			return true
+		}()
+		if ok {
+			return crashes
+		}
+		crashes++
+		crashes += lockRetry(t, m, port)
+	}
+}
+
+func TestSingleLockUnlock(t *testing.T) {
+	m := rme.New(1)
+	for i := 0; i < 100; i++ {
+		m.Lock(0)
+		if !m.Held(0) {
+			t.Fatal("Held(0) false inside the CS")
+		}
+		m.Unlock(0)
+		if m.Held(0) {
+			t.Fatal("Held(0) true after Unlock")
+		}
+	}
+}
+
+func TestMutualExclusionStress(t *testing.T) {
+	// The race detector is the referee: counter is an unsynchronized int,
+	// legal only if the lock truly serializes the critical sections.
+	const workers, iters = 8, 400
+	m := rme.New(workers)
+	counter := 0
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock(port)
+				if inside.Add(1) != 1 {
+					t.Errorf("two goroutines inside the CS")
+				}
+				counter++
+				inside.Add(-1)
+				m.Unlock(port)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestFIFOHandoff(t *testing.T) {
+	// With a held lock and two queued waiters, releases proceed in queue
+	// order (MCS inheritance).
+	m := rme.New(3)
+	m.Lock(0)
+
+	var order []int
+	var mu sync.Mutex
+	ready := make(chan int, 2)
+	done := make(chan struct{})
+	for _, port := range []int{1, 2} {
+		go func(p int) {
+			ready <- p
+			m.Lock(p)
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			m.Unlock(p)
+			done <- struct{}{}
+		}(port)
+		<-ready
+		time.Sleep(20 * time.Millisecond) // let the FAS land in order
+	}
+	m.Unlock(0)
+	<-done
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("service order %v, want [1 2]", order)
+	}
+}
+
+func TestCSRAfterWorkerDeath(t *testing.T) {
+	// A worker "dies" inside the CS (its goroutine simply stops). The
+	// replacement's Lock on the same port returns immediately; nobody else
+	// can get in before that.
+	m := rme.New(2)
+	func() { m.Lock(0) }() // the deceased; its locals are gone
+
+	if !m.Held(0) {
+		t.Fatal("Held(0) should be true after the death in the CS")
+	}
+
+	entered := make(chan struct{})
+	go func() {
+		m.Lock(1)
+		close(entered)
+		m.Unlock(1)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("CSR violated: port 1 entered while the dead port 0 held the CS")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	start := time.Now()
+	m.Lock(0) // the replacement recovers
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("recovery Lock took %v, want near-immediate (wait-free CSR)", d)
+	}
+	m.Unlock(0)
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("port 1 never entered after the recovery completed")
+	}
+}
+
+func TestCrashDuringUnlockIsRecovered(t *testing.T) {
+	m := rme.New(2)
+	var arm atomic.Bool
+	m.SetCrashFunc(func(port int, point string) bool {
+		return port == 0 && point == "L28" && arm.Swap(false)
+	})
+
+	m.Lock(0)
+	arm.Store(true)
+	func() {
+		defer func() {
+			if _, ok := rme.AsCrash(recover()); !ok {
+				t.Error("expected an injected crash during Unlock")
+			}
+		}()
+		m.Unlock(0)
+	}()
+	// Recovery: Lock completes the interrupted exit and re-acquires.
+	m.Lock(0)
+	if !m.Held(0) {
+		t.Fatal("not holding after recovery Lock")
+	}
+	m.Unlock(0)
+}
+
+// TestCrashSweepEveryPoint injects one crash at every labeled point of the
+// protocol, one run per point, and requires full recovery and continued
+// mutual exclusion afterwards.
+func TestCrashSweepEveryPoint(t *testing.T) {
+	points := []string{
+		"L10", "L11", "L12", "L13", "L14", "L15", "L18", "L19", "L23",
+		"L24", "L25", "L26", "L27", "L28", "L29",
+		"L30", "L31", "L33", "L35", "L36", "L43", "L44", "L46", "L47", "L49",
+		"R.stage", "R.trying", "R.e0", "R.e1", "R.e2", "R.e3", "R.e5",
+		"R.incs", "R.exiting", "R.x0", "R.x1", "R.x2", "R.x4", "R.idle",
+	}
+	for _, point := range points {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			const workers, iters = 4, 60
+			m := rme.New(workers)
+			var remaining atomic.Int32
+			remaining.Store(3) // up to three injected crashes at this point
+			m.SetCrashFunc(func(port int, pt string) bool {
+				if pt != point || port != 0 {
+					return false
+				}
+				return remaining.Add(-1) >= 0
+			})
+			counter := 0
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(port int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						lockRetry(t, m, port)
+						counter++
+						unlockRetry(t, m, port)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("counter = %d, want %d", counter, workers*iters)
+			}
+		})
+	}
+}
+
+func TestRandomCrashStorm(t *testing.T) {
+	// Randomized crash injection across all ports and points, counter
+	// checked under the race detector.
+	const workers, iters = 6, 150
+	m := rme.New(workers)
+	var calls atomic.Uint64
+	m.SetCrashFunc(func(port int, point string) bool {
+		c := calls.Add(1)
+		// Deterministic splitmix-style hash of the call number.
+		z := c + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z%997 == 0
+	})
+	counter := 0
+	totalCrashes := int64(0)
+	var crashCount atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(port int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				crashCount.Add(int64(lockRetry(t, m, port)))
+				counter++
+				crashCount.Add(int64(unlockRetry(t, m, port)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	totalCrashes = crashCount.Load()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d (crashes survived: %d)", counter, workers*iters, totalCrashes)
+	}
+	t.Logf("survived %d injected crashes", totalCrashes)
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero ports", func() { rme.New(0) }},
+		{"bad port lock", func() { rme.New(1).Lock(3) }},
+		{"bad port unlock", func() { rme.New(1).Unlock(-1) }},
+		{"unlock without lock", func() { rme.New(1).Unlock(0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestHeldOnFreshMutex(t *testing.T) {
+	m := rme.New(2)
+	if m.Held(0) || m.Held(1) {
+		t.Fatal("fresh mutex reports a holder")
+	}
+}

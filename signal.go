@@ -1,0 +1,51 @@
+package rme
+
+import "sync/atomic"
+
+// signal is the runtime port of the paper's Signal object (Figure 2): a
+// single-shot flag with set and wait, where the waiter spins on a boolean
+// it allocated itself. On the paper's DSM machine that placement makes the
+// busy-wait local; at runtime it additionally keeps each waiter on its own
+// cache line most of the time.
+//
+// The algorithm guarantees no two wait executions are ever concurrent on
+// the same signal (a node's CS_Signal is awaited only by its unique
+// successor; NonNil_Signal only under the repair lock).
+type signal struct {
+	// bit is the persistent state: 1 once set() has happened (Figure 2's
+	// Bit).
+	bit atomic.Bool
+	// goAddr is the published spin variable of the current waiter
+	// (Figure 2's GoAddr).
+	goAddr atomic.Pointer[atomic.Bool]
+}
+
+// set makes the signal's state 1 and wakes the published waiter, if any
+// (Figure 2 lines 1–4).
+func (s *signal) set() {
+	s.bit.Store(true)
+	if addr := s.goAddr.Load(); addr != nil {
+		addr.Store(true)
+	}
+}
+
+// wait returns once the signal's state is 1 (Figure 2 lines 5–9). A fresh
+// spin boolean is allocated per call — exactly the paper's line 5 — which
+// is also what makes re-execution after a crash safe: a stale wake directed
+// at an abandoned boolean is simply lost.
+func (s *signal) wait() {
+	g := new(atomic.Bool)
+	s.goAddr.Store(g)
+	if s.bit.Load() {
+		return
+	}
+	for !g.Load() {
+		spinWait()
+	}
+}
+
+// isSet reports the state without side effects (used by tests).
+func (s *signal) isSet() bool { return s.bit.Load() }
+
+// forceSet initializes a pre-set signal (the SpecialNode's).
+func (s *signal) forceSet() { s.bit.Store(true) }

@@ -1,0 +1,191 @@
+package rme
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// TreeMutex is the runtime port of the paper's Section 3.3 construction:
+// n processes compete on an arbitration tree whose internal nodes are
+// k-ported Mutex instances with k = Θ(log n / log log n). It is the
+// n-process form of the lock with the paper's headline bound —
+// O((1+f)·log n / log log n) RMRs per super-passage — where the flat Mutex
+// is the k-ported core.
+//
+// Unlike Mutex's ports, TreeMutex identities are process indices
+// 0..n-1 with a fixed leaf each; the same exclusivity rule applies (one
+// live goroutine per identity; a replacement presenting the same identity
+// recovers the dead one's passage).
+//
+// Recovery uses one stable phase word per process (climbing / in CS /
+// releasing-with-cursor): see internal/tree for the verified step-machine
+// version this is ported from, including why the release cursor is
+// necessary (a released node's port may already be claimed by a sibling,
+// so the replay must never touch levels above the cursor).
+type TreeMutex struct {
+	n      int
+	arity  int
+	levels int
+	nodes  [][]*Mutex
+	phase  []atomic.Int64
+}
+
+// Phase values for TreeMutex's per-process phase word; the release cursor
+// lives in the upper bits.
+const (
+	tphIdle int64 = iota
+	tphUp
+	tphCS
+	tphDown
+
+	tphShift = 4
+	tphMask  = (1 << tphShift) - 1
+)
+
+func encodeTreeDown(cursor int) int64 {
+	if cursor < 0 {
+		return tphDown
+	}
+	return tphDown | int64(cursor)<<tphShift
+}
+
+// TreeArity returns the paper's node degree for n processes:
+// max(2, ⌈log₂ n / log₂ log₂ n⌉).
+func TreeArity(n int) int {
+	if n <= 4 {
+		return 2
+	}
+	lg := math.Log2(float64(n))
+	a := int(math.Ceil(lg / math.Log2(lg)))
+	if a < 2 {
+		return 2
+	}
+	return a
+}
+
+// NewTree creates an n-process arbitration-tree mutex with the paper's
+// default node degree.
+func NewTree(n int) *TreeMutex {
+	if n <= 0 {
+		panic("rme: NewTree needs at least one process")
+	}
+	t := &TreeMutex{n: n, arity: TreeArity(n)}
+	groups := n
+	for groups > 1 {
+		groups = (groups + t.arity - 1) / t.arity
+		level := make([]*Mutex, groups)
+		for g := range level {
+			level[g] = New(t.arity)
+		}
+		t.nodes = append(t.nodes, level)
+		t.levels++
+	}
+	t.phase = make([]atomic.Int64, n)
+	return t
+}
+
+// Procs returns n, the number of process identities.
+func (t *TreeMutex) Procs() int { return t.n }
+
+// Levels returns the tree height.
+func (t *TreeMutex) Levels() int { return t.levels }
+
+// SetCrashFunc installs the crash-injection hook on every tree node. The
+// hook's port argument is the node-local port (child index); points keep
+// the paper's line labels.
+func (t *TreeMutex) SetCrashFunc(fn CrashFunc) {
+	for _, level := range t.nodes {
+		for _, m := range level {
+			m.SetCrashFunc(fn)
+		}
+	}
+}
+
+func (t *TreeMutex) checkProc(proc int) {
+	if proc < 0 || proc >= t.n {
+		panic(fmt.Sprintf("rme: process %d out of range [0,%d)", proc, t.n))
+	}
+}
+
+// position returns the (node, port) of proc at level l.
+func (t *TreeMutex) position(proc, l int) (m *Mutex, port int) {
+	div := 1
+	for j := 0; j < l; j++ {
+		div *= t.arity
+	}
+	return t.nodes[l][proc/(div*t.arity)], (proc / div) % t.arity
+}
+
+// Held reports whether proc currently owns the outer critical section.
+func (t *TreeMutex) Held(proc int) bool {
+	t.checkProc(proc)
+	return t.phase[proc].Load()&tphMask == tphCS
+}
+
+// Lock acquires the outer critical section for proc, performing whatever
+// crash recovery the stable phase word dictates.
+func (t *TreeMutex) Lock(proc int) {
+	t.checkProc(proc)
+	switch word := t.phase[proc].Load(); word & tphMask {
+	case tphCS:
+		return // crashed in the CS: every level is still held
+	case tphDown:
+		// Crashed mid-release: replay from the cursor, then climb afresh.
+		t.replayRelease(proc, int(word>>tphShift))
+	}
+	t.phase[proc].Store(tphUp)
+	for l := 0; l < t.levels; l++ {
+		m, port := t.position(proc, l)
+		m.Lock(port)
+	}
+	t.phase[proc].Store(tphCS)
+}
+
+// Unlock releases the outer critical section (wait-free). A crash part-way
+// through is completed by the next Lock on the same identity.
+func (t *TreeMutex) Unlock(proc int) {
+	t.checkProc(proc)
+	if t.phase[proc].Load()&tphMask != tphCS {
+		panic(fmt.Sprintf("rme: Unlock of process %d which does not hold the tree lock", proc))
+	}
+	t.phase[proc].Store(encodeTreeDown(t.levels - 1))
+	t.replayRelease(proc, t.levels-1)
+	t.phase[proc].Store(tphIdle)
+}
+
+// replayRelease releases levels cursor..0 (top-down) with the idempotent
+// per-node exit recovery, advancing the stable cursor between levels.
+func (t *TreeMutex) replayRelease(proc, cursor int) {
+	for l := cursor; l >= 0; l-- {
+		m, port := t.position(proc, l)
+		m.exitRecover(port)
+		if l > 0 {
+			t.phase[proc].Store(encodeTreeDown(l - 1))
+		}
+	}
+}
+
+// exitRecover completes a possibly interrupted Exit of port without
+// starting a new passage (idempotent; used by the tree's release replay).
+// It mirrors internal/core's BeginExitRecover.
+func (m *Mutex) exitRecover(port int) {
+	m.cp(port, "X.read")
+	n := m.node[port].Load()
+	if n == nil {
+		return // exit already complete
+	}
+	switch n.pred.Load() {
+	case m.incsN:
+		m.cp(port, "L27")
+		n.pred.Store(m.exitN)
+	case m.exitN:
+		// fall through to lines 28–29
+	default:
+		panic("rme: exit recovery on a node that never reached the CS")
+	}
+	m.cp(port, "L28")
+	n.cs.set()
+	m.cp(port, "L29")
+	m.node[port].Store(nil)
+}

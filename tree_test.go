@@ -1,0 +1,192 @@
+package rme_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	rme "github.com/rmelib/rme"
+)
+
+func TestTreeArity(t *testing.T) {
+	tests := []struct{ n, arity int }{
+		{2, 2}, {4, 2}, {16, 2}, {64, 3}, {256, 3}, {1024, 4},
+	}
+	for _, tt := range tests {
+		if got := rme.TreeArity(tt.n); got != tt.arity {
+			t.Errorf("TreeArity(%d) = %d, want %d", tt.n, got, tt.arity)
+		}
+	}
+}
+
+func TestTreeSingleProcess(t *testing.T) {
+	m := rme.NewTree(1)
+	for i := 0; i < 50; i++ {
+		m.Lock(0)
+		if !m.Held(0) {
+			t.Fatal("not held in CS")
+		}
+		m.Unlock(0)
+	}
+}
+
+func TestTreeMutualExclusionStress(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 16} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			m := rme.NewTree(n)
+			counter := 0 // race-detector referee
+			var inside atomic.Int32
+			var wg sync.WaitGroup
+			iters := 2000 / n
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(proc int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						m.Lock(proc)
+						if inside.Add(1) != 1 {
+							t.Errorf("two processes in the tree CS")
+						}
+						counter++
+						inside.Add(-1)
+						m.Unlock(proc)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if counter != n*iters {
+				t.Fatalf("counter = %d, want %d", counter, n*iters)
+			}
+		})
+	}
+}
+
+func TestTreeCSRAfterWorkerDeath(t *testing.T) {
+	m := rme.NewTree(4)
+	func() { m.Lock(0) }() // holder dies with the whole path held
+
+	if !m.Held(0) {
+		t.Fatal("Held(0) should be true")
+	}
+	entered := make(chan struct{})
+	go func() {
+		m.Lock(3) // different subtree: must still be excluded at the root
+		close(entered)
+		m.Unlock(3)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("tree CSR violated")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	m.Lock(0) // replacement recovers immediately
+	m.Unlock(0)
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("process 3 starved after recovery")
+	}
+}
+
+// treeLockRetry / treeUnlockRetry implement the recovery protocol against
+// injected crashes, as a real supervisor would.
+func treeLockRetry(m *rme.TreeMutex, proc int) {
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := rme.AsCrash(r); !isCrash {
+						panic(r)
+					}
+				}
+			}()
+			m.Lock(proc)
+			return true
+		}()
+		if ok {
+			return
+		}
+	}
+}
+
+func treeUnlockRetry(m *rme.TreeMutex, proc int) {
+	for {
+		ok := func() (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := rme.AsCrash(r); !isCrash {
+						panic(r)
+					}
+				}
+			}()
+			m.Unlock(proc)
+			return true
+		}()
+		if ok {
+			return
+		}
+		treeLockRetry(m, proc)
+	}
+}
+
+func TestTreeRandomCrashStorm(t *testing.T) {
+	const n, iters = 6, 100
+	m := rme.NewTree(n)
+	var calls atomic.Uint64
+	m.SetCrashFunc(func(port int, point string) bool {
+		c := calls.Add(1)
+		z := c + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		return z%1499 == 0
+	})
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				treeLockRetry(m, proc)
+				counter++
+				treeUnlockRetry(m, proc)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != n*iters {
+		t.Fatalf("counter = %d, want %d", counter, n*iters)
+	}
+}
+
+func TestTreePanicsOnMisuse(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"zero procs", func() { rme.NewTree(0) }},
+		{"bad proc", func() { rme.NewTree(2).Lock(5) }},
+		{"unlock without lock", func() { rme.NewTree(2).Unlock(0) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tt.fn()
+		})
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	if l := rme.NewTree(16).Levels(); l != 4 { // arity 2
+		t.Fatalf("levels(16) = %d, want 4", l)
+	}
+	if l := rme.NewTree(64).Levels(); l != 4 { // arity 3
+		t.Fatalf("levels(64) = %d, want 4", l)
+	}
+}
