@@ -7,6 +7,7 @@ package rme_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -329,8 +330,38 @@ func BenchmarkE11InvariantCheck(b *testing.B) {
 }
 
 // BenchmarkE12RuntimeThroughput measures the runtime lock: real goroutines,
-// wall-clock, with and without injected crashes.
+// wall-clock, across worker counts, wait strategies (allStrategies, the
+// same axis cmd/rmebench -json measures), node pooling, and with injected
+// crashes. The strategy-matrix cells yield inside and after the critical
+// section, like internal/rtbench's workload: a ~100ns CS that never
+// crosses a scheduler boundary is always already unlocked when the next
+// worker runs, and the cell would silently measure sequential fast paths
+// instead of the strategy's handoff machinery.
 func BenchmarkE12RuntimeThroughput(b *testing.B) {
+	for _, s := range allStrategies() {
+		for _, pool := range []bool{false, true} {
+			b.Run(fmt.Sprintf("g4/%s/pool=%v", s.name, pool), func(b *testing.B) {
+				const g = 4
+				m := rme.New(g, rme.WithWaitStrategy(s.st), rme.WithNodePool(pool))
+				b.ReportAllocs()
+				var wg sync.WaitGroup
+				per := b.N / g
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(port int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							m.Lock(port)
+							runtime.Gosched() // critical-section work
+							m.Unlock(port)
+							runtime.Gosched() // non-critical-section work
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
 	for _, g := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) {
 			m := rme.New(g)
@@ -413,4 +444,60 @@ func BenchmarkE12RuntimeThroughput(b *testing.B) {
 		}
 		wg.Wait()
 	})
+}
+
+// BenchmarkE13FastPath measures the crash-free uncontended passage — the
+// paper's O(1)-RMR fast path — with and without node pooling. With pooling
+// the passage must not allocate: the queue node is recycled once its
+// successor consumed it, and an already-set cs signal short-circuits
+// before publishing a spin word.
+func BenchmarkE13FastPath(b *testing.B) {
+	for _, pool := range []bool{false, true} {
+		b.Run(fmt.Sprintf("pool=%v", pool), func(b *testing.B) {
+			m := rme.New(1, rme.WithNodePool(pool))
+			for i := 0; i < 8; i++ { // warm the free list past its consume lag
+				m.Lock(0)
+				m.Unlock(0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Lock(0)
+				m.Unlock(0)
+			}
+		})
+	}
+}
+
+// BenchmarkE14Oversubscribed runs ports = 32·GOMAXPROCS worker goroutines
+// through the lock — the workload that makes pure spinning pathological
+// and that the spin-then-park strategy exists for. The pure-spin strategy
+// is deliberately excluded (it would measure scheduler-quantum burn, not
+// the lock).
+func BenchmarkE14Oversubscribed(b *testing.B) {
+	ports := 32 * runtime.GOMAXPROCS(0)
+	for _, s := range allStrategies() {
+		if s.name == "spin" {
+			continue
+		}
+		b.Run(s.name, func(b *testing.B) {
+			m := rme.New(ports, rme.WithWaitStrategy(s.st), rme.WithNodePool(true))
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N/ports + 1
+			for w := 0; w < ports; w++ {
+				wg.Add(1)
+				go func(port int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m.Lock(port)
+						runtime.Gosched() // CS work, as in internal/rtbench
+						m.Unlock(port)
+						runtime.Gosched()
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
 }

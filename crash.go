@@ -1,9 +1,6 @@
 package rme
 
-import (
-	"fmt"
-	"runtime"
-)
+import "fmt"
 
 // CrashFunc decides whether the calling goroutine should "crash" (abandon
 // the protocol, losing its local state) at a labeled algorithm step. It is
@@ -68,9 +65,4 @@ func (m *Mutex) SetCrashFunc(fn CrashFunc) {
 		return
 	}
 	m.crashFn.Store(&fn)
-}
-
-// spinWait yields the processor inside busy-wait loops.
-func spinWait() {
-	runtime.Gosched()
 }

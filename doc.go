@@ -36,6 +36,22 @@
 // Section 3.3 arbitration tree for n processes (O((1+f)·log n/log log n)
 // per super-passage, the paper's headline bound).
 //
+// # Tuning
+//
+// Every busy-wait in the lock stack — the Signal object's wait, the
+// repair lock's tournament entry — runs on the internal/wait engine and
+// is tunable at construction:
+//
+//   - WithWaitStrategy selects how waiters pass the time: yielding to the
+//     Go scheduler between probes (the default), pure spinning with
+//     procyield-style backoff (lowest handoff latency when every waiter
+//     owns a core), or spin-then-park on a channel for oversubscribed
+//     workloads where ports greatly exceed GOMAXPROCS.
+//   - WithNodePool recycles queue nodes through a per-port free list once
+//     their successor is done with them, making the crash-free
+//     Lock/Unlock fast path allocation-free; reuse that cannot be proven
+//     safe (a queue repair in flight) falls back to allocation.
+//
 // # Crash injection
 //
 // Real deployments get crashes from the outside world; tests need them on

@@ -1,0 +1,3 @@
+module github.com/rmelib/rme
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package rtbench measures the runtime lock stack — real goroutines, wall
+// clock — across the wait-strategy × node-pool matrix, together with the
+// wait engine's RMR-proxy counters. cmd/rmebench's -json mode serializes
+// the results to BENCH_<scenario>.json files so successive changes leave a
+// comparable performance trajectory in the repository.
+//
+// Unlike the E1–E11 experiment harness (internal/experiments), these
+// numbers are hardware- and scheduler-dependent; the JSON therefore
+// records GOMAXPROCS alongside every sample.
+//
+// Measurement is a fixed passage count per scenario rather than
+// testing.Benchmark's adaptive calibration: a contended lock's cost per
+// op is sharply nonlinear in N (small-N rounds run effectively
+// uncontended), which makes the calibrator extrapolate absurd iteration
+// targets under oversubscription.
+package rtbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/wait"
+)
+
+// Scenario is one workload shape.
+type Scenario struct {
+	Name string
+	// Ports returns the port count (= worker goroutines), which may
+	// depend on GOMAXPROCS.
+	Ports func() int
+	// Iters is the total measured passage count across all ports.
+	Iters int
+	// SkipStrategies names strategies that are pathological for this
+	// shape and excluded by default (pure spinning while oversubscribed).
+	SkipStrategies []string
+}
+
+// Scenarios returns the benchmark matrix's workload axis.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "uncontended", Ports: func() int { return 1 }, Iters: 500_000},
+		{Name: "contended8", Ports: func() int { return 8 }, Iters: 100_000},
+		{
+			Name:  "oversubscribed",
+			Ports: func() int { return 32 * runtime.GOMAXPROCS(0) },
+			Iters: 20_000,
+			// A pure spinner with more runnable waiters than processors
+			// burns whole scheduler quanta per handoff; the scenario
+			// exists to show the parking strategy fixing exactly that.
+			SkipStrategies: []string{"spin"},
+		},
+	}
+}
+
+// StrategyNames returns the strategy axis, in report order.
+func StrategyNames() []string { return []string{"yield", "spin", "spinpark"} }
+
+func strategyByName(name string) rme.WaitStrategy {
+	switch name {
+	case "yield":
+		return rme.YieldWaitStrategy()
+	case "spin":
+		return rme.SpinWaitStrategy()
+	case "spinpark":
+		return rme.SpinParkWaitStrategy(32)
+	default:
+		panic(fmt.Sprintf("rtbench: unknown strategy %q", name))
+	}
+}
+
+// Sample is one cell of the matrix: a scenario run under one strategy and
+// pooling setting.
+type Sample struct {
+	Scenario    string  `json:"scenario"`
+	Strategy    string  `json:"strategy"`
+	Pool        bool    `json:"pool"`
+	Ports       int     `json:"ports"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	// RMR-proxy counters from the wait engine, normalized per passage:
+	// each wake is one remote write to a peer's spin word and each sleep
+	// the matching remote-read miss, which is what the paper's CC cost
+	// model counts; spins and parks are local by construction.
+	PublishesPerOp  float64 `json:"publishes_per_op"`
+	SleepsPerOp     float64 `json:"sleeps_per_op"`
+	WakesPerOp      float64 `json:"wakes_per_op"`
+	ParksPerOp      float64 `json:"parks_per_op"`
+	SpinRoundsPerOp float64 `json:"spin_rounds_per_op"`
+}
+
+// runPassages drives total Lock/Unlock passages split across the ports.
+// Multi-port workers model critical- and non-critical-section work with a
+// scheduler yield on each side. The yield inside the CS is what makes the
+// cell actually contended regardless of GOMAXPROCS: a ~100ns critical
+// section that never crosses a scheduler boundary is always already
+// unlocked when the next worker runs on a busy host, and the "contended"
+// cell silently measures sequential fast paths (observed on a single-core
+// host as contended ns/op equal to uncontended and zero wakes). With the
+// lock held across a yield, every runnable rival enqueues behind it and
+// the cell measures what it claims to: the strategy's handoff machinery.
+func runPassages(m *rme.Mutex, ports, total int) {
+	var wg sync.WaitGroup
+	per := total / ports
+	extra := total % ports
+	for w := 0; w < ports; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(port, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				m.Lock(port)
+				if ports > 1 {
+					runtime.Gosched() // critical-section work
+				}
+				m.Unlock(port)
+				if ports > 1 {
+					runtime.Gosched() // non-critical-section work
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
+// Run measures one matrix cell: a warm-up pass (which also fills the node
+// pool), then Iters measured passages. Allocation numbers come from the
+// runtime's global malloc counters, so they include the per-run worker
+// spawns — amortized over the passage count, that bias is < 0.01/op at
+// the configured scales.
+func Run(sc Scenario, strategy string, pool bool) Sample {
+	ports := sc.Ports()
+	stats := &wait.Stats{}
+	st := wait.Instrumented(strategyByName(strategy), stats)
+	m := rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
+
+	warm := sc.Iters / 10
+	if warm < 8*ports {
+		warm = 8 * ports
+	}
+	runPassages(m, ports, warm)
+	stats.Reset()
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	runPassages(m, ports, sc.Iters)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	total := float64(sc.Iters)
+	return Sample{
+		Scenario:        sc.Name,
+		Strategy:        strategy,
+		Pool:            pool,
+		Ports:           ports,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Iters:           sc.Iters,
+		NsPerOp:         float64(elapsed.Nanoseconds()) / total,
+		AllocsPerOp:     float64(ms1.Mallocs-ms0.Mallocs) / total,
+		BytesPerOp:      float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+		PublishesPerOp:  float64(stats.Publishes.Load()) / total,
+		SleepsPerOp:     float64(stats.Sleeps.Load()) / total,
+		WakesPerOp:      float64(stats.Wakes.Load()) / total,
+		ParksPerOp:      float64(stats.Parks.Load()) / total,
+		SpinRoundsPerOp: float64(stats.SpinRounds.Load()) / total,
+	}
+}
+
+// RunScenario measures every (strategy, pool) cell of one scenario,
+// skipping the strategies the scenario marks pathological.
+func RunScenario(sc Scenario) []Sample {
+	var out []Sample
+	for _, name := range StrategyNames() {
+		skip := false
+		for _, s := range sc.SkipStrategies {
+			if s == name {
+				skip = true
+			}
+		}
+		// Pure spinning is only meaningful when every waiter can own a
+		// core; past that ratio each handoff burns whole spin budgets of
+		// the one goroutine that could progress (observed: minutes per
+		// benchmark cell on a single-core host).
+		if name == "spin" && sc.Ports() > runtime.GOMAXPROCS(0) {
+			skip = true
+		}
+		if skip {
+			continue
+		}
+		for _, pool := range []bool{false, true} {
+			out = append(out, Run(sc, name, pool))
+		}
+	}
+	return out
+}

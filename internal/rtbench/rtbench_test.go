@@ -1,0 +1,24 @@
+package rtbench
+
+import "testing"
+
+// TestRunCell smokes one matrix cell and pins the headline pooling claim:
+// warm uncontended passages with the node pool allocate nothing (the
+// harness's own worker spawn amortizes below 0.01/op).
+func TestRunCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full measurement pass")
+	}
+	sc := Scenarios()[0] // uncontended
+	sc.Iters = 100_000
+	s := Run(sc, "yield", true)
+	if s.NsPerOp <= 0 {
+		t.Fatalf("NsPerOp = %v, want > 0", s.NsPerOp)
+	}
+	if s.AllocsPerOp >= 0.01 {
+		t.Fatalf("uncontended pooled AllocsPerOp = %v, want ~0", s.AllocsPerOp)
+	}
+	if s.Iters == 0 || s.Ports != 1 {
+		t.Fatalf("bad sample shape: %+v", s)
+	}
+}

@@ -1,0 +1,324 @@
+// Package wait is the busy-wait engine of the runtime lock stack: the
+// publish-a-spin-word / set / wake / consume-and-recheck protocol that the
+// paper's Signal object (Figure 2) and repair-lock tournament (internal/rlock)
+// both build on, extracted once so every wait in the stack shares a single,
+// tunable implementation.
+//
+// # Protocol
+//
+// A waiting process allocates a fresh Waiter (the paper's spin variable,
+// Figure 2 line 5), publishes it in a Cell that its peers know about, then
+// re-checks the condition it is waiting for and goes to sleep. A peer that
+// changes the condition calls Cell.Wake, which delivers a wake to whichever
+// Waiter is currently published. The freshness of the Waiter per publication
+// is what makes re-execution after a crash safe: a stale wake aimed at an
+// abandoned Waiter lands on garbage and is simply lost, and a recycled wake
+// can never leak into a later wait (there is no later wait on that Waiter).
+//
+// Waits that must re-check a condition in a loop (the tournament lock's
+// entry protocol) call Waiter.Consume after each wake and loop; spurious
+// wakes are therefore always harmless.
+//
+// # Strategies
+//
+// How a Waiter passes the time between publishing and being woken is the
+// Strategy: pure spinning with procyield-style backoff (lowest handoff
+// latency, pathological when runnable waiters exceed GOMAXPROCS),
+// spin-then-park on a channel (survives heavy oversubscription), or
+// yielding to the Go scheduler on every probe (the conservative default).
+// All three deliver wakes through the same Waiter state machine, so the
+// crash-safety argument is strategy-independent.
+package wait
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Waiter states. A Waiter moves Empty→Set on wake, Empty→Parked when the
+// waiter blocks on its channel, Parked→Set on wake (with a channel send),
+// and Set→Empty on Consume.
+const (
+	stateEmpty int32 = iota
+	stateSet
+	stateParked
+)
+
+// Waiter is one published spin word: the unit a single waiting process
+// spins (or parks) on, allocated fresh for every publication.
+type Waiter struct {
+	state atomic.Int32
+	// park carries at most one token per Parked episode; nil unless the
+	// Waiter was created parkable.
+	park  chan struct{}
+	stats *Stats
+}
+
+// NewWaiter returns a fresh, unpublished Waiter. Parkable Waiters carry the
+// channel that Park blocks on; non-parkable ones avoid the allocation.
+func NewWaiter(parkable bool) *Waiter {
+	w := &Waiter{}
+	if parkable {
+		w.park = make(chan struct{}, 1)
+	}
+	return w
+}
+
+// Woken reports whether a wake has been delivered since the last Consume.
+func (w *Waiter) Woken() bool { return w.state.Load() == stateSet }
+
+// Wake delivers a wake: it marks the Waiter set and, if the waiter is
+// parked, hands it the park token. Safe to call concurrently and more than
+// once; extra wakes collapse into one.
+func (w *Waiter) Wake() {
+	if w.state.Swap(stateSet) == stateParked {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+	if w.stats != nil {
+		w.stats.Wakes.Add(1)
+	}
+}
+
+// Consume clears a delivered wake so the Waiter can be waited on again
+// (the tournament lock's consume-then-re-check discipline). Only the
+// waiting process calls Consume.
+func (w *Waiter) Consume() { w.state.Store(stateEmpty) }
+
+// Park blocks until a wake is delivered, sleeping on the Waiter's channel.
+// If the wake already arrived (or arrives while publishing the parked
+// state), Park returns immediately. On a Waiter created without a channel
+// it degrades to yielding.
+func (w *Waiter) Park() {
+	if w.park == nil {
+		for !w.Woken() {
+			runtime.Gosched()
+		}
+		return
+	}
+	if w.state.CompareAndSwap(stateEmpty, stateParked) {
+		if w.stats != nil {
+			w.stats.Parks.Add(1)
+		}
+		<-w.park
+	}
+}
+
+// Cell is a publication slot: the shared word through which peers find the
+// current Waiter (the Signal object's GoAddr, the tournament lock's
+// GoAddr[p][l]). The zero Cell is empty and ready to use.
+type Cell struct {
+	w atomic.Pointer[Waiter]
+}
+
+// Publish installs w as the Cell's current Waiter, replacing any abandoned
+// predecessor (whose pending wakes are thereby lost — deliberately).
+func (c *Cell) Publish(w *Waiter) { c.w.Store(w) }
+
+// Wake delivers a wake to the currently published Waiter, if any.
+func (c *Cell) Wake() {
+	if w := c.w.Load(); w != nil {
+		w.Wake()
+	}
+}
+
+// Reset empties the Cell. Used when the memory holding the Cell is
+// recycled for a fresh protocol life.
+func (c *Cell) Reset() { c.w.Store(nil) }
+
+// Await publishes a fresh Waiter, re-checks cond, and sleeps until a wake
+// arrives — the single-shot wait of the Signal object (Figure 2 lines 5–9).
+// cond must become true before (in happens-before order) the corresponding
+// Cell.Wake, which is exactly the set-bit-then-wake discipline of signal
+// setters; Await re-checks it after publishing so a wake that raced ahead
+// of the publication is never missed.
+func (c *Cell) Await(st Strategy, cond func() bool) {
+	w := st.New()
+	c.Publish(w)
+	if cond() {
+		return
+	}
+	st.Sleep(w)
+}
+
+// Stats counts wait-engine events; attach one to a Strategy with
+// Instrumented. Wakes is the RMR proxy on a CC machine: each wake is one
+// remote write to another process's spin word, and each sleep that it
+// terminates is the matching remote-read miss. Everything a strategy does
+// between publication and wake (Spins, Parks) is local by construction.
+type Stats struct {
+	Publishes  atomic.Uint64 // Waiters created and published
+	Sleeps     atomic.Uint64 // sleeps that found the wake not yet delivered
+	Wakes      atomic.Uint64 // wake deliveries to a live Waiter
+	Parks      atomic.Uint64 // sleeps that escalated to a channel park
+	SpinRounds atomic.Uint64 // backoff rounds spent spinning
+}
+
+// Reset zeroes every counter (e.g. after a benchmark warm-up pass).
+func (s *Stats) Reset() {
+	s.Publishes.Store(0)
+	s.Sleeps.Store(0)
+	s.Wakes.Store(0)
+	s.Parks.Store(0)
+	s.SpinRounds.Store(0)
+}
+
+// Strategy is how a waiting process passes the time between publishing its
+// Waiter and receiving a wake. Implementations must return from Sleep once
+// the Waiter is woken.
+type Strategy interface {
+	// New allocates a fresh Waiter suitable for this strategy's Sleep.
+	New() *Waiter
+	// Sleep blocks until w has been woken (Woken reports true).
+	Sleep(w *Waiter)
+	// String names the strategy in benchmark output.
+	String() string
+}
+
+// spin parameters: pause lengths double from minPause to maxPause; after
+// spinYieldAfter fruitless rounds the spinner concedes one scheduler yield
+// per round so oversubscribed workloads cannot livelock the runtime, while
+// the wait stays spin-first.
+const (
+	minPause       = 4
+	maxPause       = 4096
+	spinYieldAfter = 1024
+)
+
+// spinSink defeats dead-code elimination of the pause loop without writing
+// shared memory on the hot path (the store is unreachable).
+var spinSink int
+
+// procyield burns roughly n cycles locally, like runtime.procyield / the
+// PAUSE instruction: no memory traffic, no scheduler interaction.
+func procyield(n int) {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += i
+	}
+	if acc == -1 {
+		spinSink = 1
+	}
+}
+
+type yieldStrategy struct{}
+
+// Yield returns the compatibility-default strategy: probe the Waiter and
+// yield to the Go scheduler between probes — the runtime port's historical
+// behavior (a bare runtime.Gosched loop).
+func Yield() Strategy { return yieldStrategy{} }
+
+func (yieldStrategy) New() *Waiter { return NewWaiter(false) }
+
+func (yieldStrategy) Sleep(w *Waiter) {
+	if w.Woken() {
+		return
+	}
+	if w.stats != nil {
+		w.stats.Sleeps.Add(1)
+	}
+	for !w.Woken() {
+		runtime.Gosched()
+	}
+}
+
+func (yieldStrategy) String() string { return "yield" }
+
+type spinStrategy struct{}
+
+// Spin returns the pure-spin strategy: procyield-style exponential backoff
+// with no scheduler interaction until a generous budget is exhausted.
+// Lowest wake-to-run latency; do not use when runnable waiters can exceed
+// GOMAXPROCS.
+func Spin() Strategy { return spinStrategy{} }
+
+func (spinStrategy) New() *Waiter { return NewWaiter(false) }
+
+func (spinStrategy) Sleep(w *Waiter) {
+	if w.Woken() {
+		return
+	}
+	if w.stats != nil {
+		w.stats.Sleeps.Add(1)
+	}
+	pause := minPause
+	for round := 0; !w.Woken(); round++ {
+		procyield(pause)
+		if pause < maxPause {
+			pause <<= 1
+		}
+		if round >= spinYieldAfter {
+			runtime.Gosched()
+		}
+		if w.stats != nil {
+			w.stats.SpinRounds.Add(1)
+		}
+	}
+}
+
+func (spinStrategy) String() string { return "spin" }
+
+type spinParkStrategy struct {
+	rounds int
+}
+
+// SpinThenPark returns the oversubscription-friendly strategy: spin with
+// backoff for the given number of rounds, then park on the Waiter's
+// channel until the wake arrives. rounds <= 0 selects a small default.
+func SpinThenPark(rounds int) Strategy {
+	if rounds <= 0 {
+		rounds = 64
+	}
+	return spinParkStrategy{rounds: rounds}
+}
+
+func (s spinParkStrategy) New() *Waiter { return NewWaiter(true) }
+
+func (s spinParkStrategy) Sleep(w *Waiter) {
+	if w.Woken() {
+		return
+	}
+	if w.stats != nil {
+		w.stats.Sleeps.Add(1)
+	}
+	pause := minPause
+	for round := 0; round < s.rounds; round++ {
+		if w.Woken() {
+			return
+		}
+		procyield(pause)
+		if pause < maxPause {
+			pause <<= 1
+		}
+		if w.stats != nil {
+			w.stats.SpinRounds.Add(1)
+		}
+	}
+	w.Park()
+}
+
+func (s spinParkStrategy) String() string { return "spinpark" }
+
+type instrumented struct {
+	inner Strategy
+	stats *Stats
+}
+
+// Instrumented wraps a strategy so every Waiter it creates records its
+// events into stats — the RMR-proxy counters reported by cmd/rmebench.
+func Instrumented(inner Strategy, stats *Stats) Strategy {
+	return instrumented{inner: inner, stats: stats}
+}
+
+func (s instrumented) New() *Waiter {
+	w := s.inner.New()
+	w.stats = s.stats
+	s.stats.Publishes.Add(1)
+	return w
+}
+
+func (s instrumented) Sleep(w *Waiter) { s.inner.Sleep(w) }
+
+func (s instrumented) String() string { return s.inner.String() }

@@ -1,0 +1,297 @@
+package wait
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func strategies() []Strategy {
+	return []Strategy{Yield(), Spin(), SpinThenPark(8)}
+}
+
+// TestWakeBeforeSleep: a wake that lands between publication and Sleep must
+// make Sleep return immediately (the re-check discipline).
+func TestWakeBeforeSleep(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			w := st.New()
+			c.Publish(w)
+			c.Wake()
+			done := make(chan struct{})
+			go func() {
+				st.Sleep(w)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("Sleep did not observe the earlier wake")
+			}
+		})
+	}
+}
+
+// TestSleepThenWake: the ordinary blocking handshake under every strategy.
+func TestSleepThenWake(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			w := st.New()
+			c.Publish(w)
+			done := make(chan struct{})
+			go func() {
+				st.Sleep(w)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("Sleep returned before any wake")
+			case <-time.After(10 * time.Millisecond):
+			}
+			c.Wake()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("Sleep never released after Wake")
+			}
+		})
+	}
+}
+
+// TestStaleWakeIsLost is the crash-safety argument of the whole engine
+// (signal.wait's fresh-boolean-per-wait property, Figure 2 line 5): a wake
+// aimed at an abandoned Waiter — published by a process that then crashed —
+// must be lost, never leaking into the re-executed wait's fresh Waiter.
+func TestStaleWakeIsLost(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			abandoned := st.New()
+			c.Publish(abandoned) // the pre-crash publication
+			// The process "crashes" and re-executes its wait with a fresh
+			// Waiter; a setter that loaded the old publication before the
+			// crash now delivers its wake to the abandoned Waiter.
+			fresh := st.New()
+			c.Publish(fresh)
+			abandoned.Wake() // the stale wake
+			if fresh.Woken() {
+				t.Fatal("stale wake leaked into the fresh Waiter")
+			}
+			done := make(chan struct{})
+			go func() {
+				st.Sleep(fresh)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("fresh Waiter's Sleep released by a stale wake")
+			case <-time.After(20 * time.Millisecond):
+			}
+			c.Wake() // a wake through the Cell reaches the live Waiter
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("live Waiter never woken through the Cell")
+			}
+		})
+	}
+}
+
+// TestConsumeAndRecheck drives the tournament lock's wait loop shape: each
+// wake is consumed, the condition re-checked, and the same Waiter slept on
+// again. Spurious wakes (delivered before the condition holds) must neither
+// be missed nor double-counted.
+func TestConsumeAndRecheck(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			var cond atomic.Int32
+			const rounds = 5
+			w := st.New()
+			c.Publish(w)
+			done := make(chan int)
+			go func() {
+				wakes := 0
+				for cond.Load() < rounds {
+					st.Sleep(w)
+					w.Consume()
+					wakes++
+				}
+				done <- wakes
+			}()
+			for i := 0; i < rounds; i++ {
+				time.Sleep(time.Millisecond)
+				cond.Add(1)
+				c.Wake()
+			}
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("consume-and-recheck loop hung")
+			}
+		})
+	}
+}
+
+// TestParkWakeRace hammers the park/wake transition with minimal spin so
+// the CAS-to-parked path races real wakes (run with -race).
+func TestParkWakeRace(t *testing.T) {
+	st := SpinThenPark(1)
+	var c Cell
+	var turn atomic.Int32
+	const iters = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			w := st.New()
+			c.Publish(w)
+			for turn.Load() <= int32(i) {
+				st.Sleep(w)
+				w.Consume()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			turn.Add(1)
+			c.Wake()
+			if i%64 == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("park/wake race test hung (lost wakeup)")
+	}
+}
+
+// TestDoubleWakeCollapses: extra wakes on the same Waiter collapse into one
+// and never corrupt a later park episode's token accounting.
+func TestDoubleWakeCollapses(t *testing.T) {
+	st := SpinThenPark(1)
+	w := st.New()
+	var c Cell
+	c.Publish(w)
+	c.Wake()
+	c.Wake()
+	st.Sleep(w) // returns immediately
+	w.Consume()
+	done := make(chan struct{})
+	go func() {
+		st.Sleep(w) // must actually block: both wakes were consumed as one
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("collapsed wake observed twice")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Wake()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never released")
+	}
+}
+
+// TestAwait covers the single-shot Signal-style wait: condition already
+// true (no sleep) and condition set concurrently with the wake.
+func TestAwait(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			var bit atomic.Bool
+			bit.Store(true)
+			c.Await(st, bit.Load) // returns without sleeping
+
+			bit.Store(false)
+			done := make(chan struct{})
+			go func() {
+				c.Await(st, bit.Load)
+				close(done)
+			}()
+			time.Sleep(5 * time.Millisecond)
+			bit.Store(true) // set the condition...
+			c.Wake()        // ...then wake, as every setter in the stack does
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("Await never released")
+			}
+		})
+	}
+}
+
+// TestInstrumented checks the RMR-proxy counters: one publish per Await,
+// one wake per delivery, sleeps only when blocking happened.
+func TestInstrumented(t *testing.T) {
+	var stats Stats
+	st := Instrumented(SpinThenPark(1), &stats)
+	var c Cell
+	var bit atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		c.Await(st, bit.Load)
+		close(done)
+	}()
+	for stats.Publishes.Load() == 0 {
+		runtime.Gosched()
+	}
+	time.Sleep(5 * time.Millisecond)
+	bit.Store(true)
+	c.Wake()
+	<-done
+	if got := stats.Publishes.Load(); got != 1 {
+		t.Errorf("Publishes = %d, want 1", got)
+	}
+	if got := stats.Wakes.Load(); got != 1 {
+		t.Errorf("Wakes = %d, want 1", got)
+	}
+	if got := stats.Sleeps.Load(); got != 1 {
+		t.Errorf("Sleeps = %d, want 1", got)
+	}
+}
+
+// TestOversubscribedHandoff runs a wake chain across far more goroutines
+// than GOMAXPROCS under the parking strategy: every link must hand off
+// without livelock even though almost all waiters are runnable-starved.
+func TestOversubscribedHandoff(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	n := 32 * procs
+	st := SpinThenPark(4)
+	cells := make([]Cell, n)
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := st.New()
+		cells[i].Publish(w)
+		wg.Add(1)
+		go func(i int, w *Waiter) {
+			defer wg.Done()
+			st.Sleep(w)
+			sum.Add(1)
+			if i+1 < n {
+				cells[i+1].Wake()
+			}
+		}(i, w)
+	}
+	cells[0].Wake()
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("oversubscribed handoff stalled at %d/%d", sum.Load(), n)
+	}
+}

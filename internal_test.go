@@ -5,70 +5,88 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+	"unsafe"
+
+	"github.com/rmelib/rme/internal/wait"
 )
 
 // White-box tests for the unexported runtime building blocks: the Signal
 // object port and the recoverable tournament lock port.
 
+func signalStrategies() []wait.Strategy {
+	return []wait.Strategy{wait.Yield(), wait.Spin(), wait.SpinThenPark(8)}
+}
+
 func TestSignalSetThenWait(t *testing.T) {
-	var s signal
-	s.set()
-	done := make(chan struct{})
-	go func() {
-		s.wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("wait() after set() did not return")
+	for _, st := range signalStrategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var s signal
+			s.set()
+			done := make(chan struct{})
+			go func() {
+				s.wait(st)
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("wait() after set() did not return")
+			}
+		})
 	}
 }
 
 func TestSignalWaitThenSet(t *testing.T) {
-	var s signal
-	done := make(chan struct{})
-	go func() {
-		s.wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		t.Fatal("wait() returned before set()")
-	case <-time.After(20 * time.Millisecond):
-	}
-	s.set()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("wait() never released after set()")
+	for _, st := range signalStrategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var s signal
+			done := make(chan struct{})
+			go func() {
+				s.wait(st)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("wait() returned before set()")
+			case <-time.After(20 * time.Millisecond):
+			}
+			s.set()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("wait() never released after set()")
+			}
+		})
 	}
 }
 
 func TestSignalReExecutedWaitAfterAbandonment(t *testing.T) {
-	// A waiter "crashes" (abandons its published spin variable); the
+	// A waiter "crashes" (abandons its published spin word); the
 	// re-executed wait must still be released by a later set. This is the
 	// paper's fresh-boolean-per-wait property (Figure 2, line 5).
-	var s signal
-	abandoned := make(chan struct{})
-	go func() {
-		// Simulate the pre-crash prefix of wait(): publish, then die.
-		g := new(atomic.Bool)
-		s.goAddr.Store(g)
-		close(abandoned)
-	}()
-	<-abandoned
-	done := make(chan struct{})
-	go func() {
-		s.wait() // the recovered process re-executes wait()
-		close(done)
-	}()
-	time.Sleep(10 * time.Millisecond)
-	s.set()
-	select {
-	case <-done:
-	case <-time.After(2 * time.Second):
-		t.Fatal("re-executed wait() was not released")
+	for _, st := range signalStrategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var s signal
+			abandoned := make(chan struct{})
+			go func() {
+				// Simulate the pre-crash prefix of wait(): publish, then die.
+				s.cell.Publish(st.New())
+				close(abandoned)
+			}()
+			<-abandoned
+			done := make(chan struct{})
+			go func() {
+				s.wait(st) // the recovered process re-executes wait()
+				close(done)
+			}()
+			time.Sleep(10 * time.Millisecond)
+			s.set()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("re-executed wait() was not released")
+			}
+		})
 	}
 }
 
@@ -78,7 +96,7 @@ func TestSignalForceSet(t *testing.T) {
 	if !s.isSet() {
 		t.Fatal("forceSet did not set")
 	}
-	s.wait() // must return immediately (same goroutine: would hang otherwise)
+	s.wait(wait.Yield()) // must return immediately (same goroutine: would hang otherwise)
 }
 
 func TestRLockMutualExclusion(t *testing.T) {
@@ -156,9 +174,14 @@ func TestRLockExitReplayAfterCrash(t *testing.T) {
 
 func TestMaximalQPathsShapes(t *testing.T) {
 	a, b, c, d := new(qnode), new(qnode), new(qnode), new(qnode)
-	vertices := map[*qnode]struct{}{a: {}, b: {}, c: {}, d: {}}
-	out := map[*qnode]*qnode{a: b, b: c} // a -> b -> c, d isolated
-	paths := maximalQPaths(vertices, out)
+	sc := newRepairScratch(4)
+	sc.reset()
+	for _, v := range []*qnode{a, b, c, d} {
+		sc.vertices[v] = struct{}{}
+	}
+	sc.out[a] = b // a -> b -> c, d isolated
+	sc.out[b] = c
+	paths := sc.maximalPaths()
 	if len(paths) != 2 {
 		t.Fatalf("paths = %d, want 2", len(paths))
 	}
@@ -175,5 +198,23 @@ func TestMaximalQPathsShapes(t *testing.T) {
 		default:
 			t.Fatalf("unexpected path start")
 		}
+	}
+}
+
+// TestPaddedLayout pins the cache-line padding contract of the hot shared
+// arrays: one slot must never share a (prefetcher-paired) line with its
+// neighbor. If a field is added to one of these types, grow its pad.
+func TestPaddedLayout(t *testing.T) {
+	if s := unsafe.Sizeof(paddedInt32{}); s%cacheLineSize != 0 {
+		t.Errorf("paddedInt32 size %d not a multiple of %d", s, cacheLineSize)
+	}
+	if s := unsafe.Sizeof(paddedQnodePtr{}); s%cacheLineSize != 0 {
+		t.Errorf("paddedQnodePtr size %d not a multiple of %d", s, cacheLineSize)
+	}
+	if s := unsafe.Sizeof(rlockNode{}); s%cacheLineSize != 0 {
+		t.Errorf("rlockNode size %d not a multiple of %d", s, cacheLineSize)
+	}
+	if s := unsafe.Sizeof(portFree{}); s%cacheLineSize != 0 {
+		t.Errorf("portFree size %d not a multiple of %d", s, cacheLineSize)
 	}
 }

@@ -3,14 +3,41 @@ package rme
 import (
 	"fmt"
 	"sync/atomic"
+	"unsafe"
+
+	"github.com/rmelib/rme/internal/wait"
 )
 
 // qnode is a queue node (the paper's QNode): one per passage, holding the
-// predecessor pointer and the two hand-off signals.
+// predecessor pointer and the two hand-off signals. With pooling enabled a
+// node is recycled for a later passage of the same port once its successor
+// has consumed cs (see consumed).
 type qnode struct {
 	pred   atomic.Pointer[qnode]
 	nonNil signal // set once pred is non-nil (used by repairs)
 	cs     signal // set when the owner leaves the CS (releases the successor)
+
+	// consumed is set by the node's unique successor right after it
+	// overwrites its own pred pointer with the InCS sentinel: from that
+	// point no live protocol path leads to this node (the successor never
+	// revisits it, Tail moved past it when the successor appeared, and the
+	// owner's port-table slot was cleared at exit), so the owner may
+	// recycle it for a fresh passage.
+	consumed atomic.Bool
+}
+
+// poolCap is the per-port free-list capacity. Crash-free steady state
+// oscillates between one and two retired nodes per port; the slack absorbs
+// retire/consume skew before the pool starts leaking nodes to the GC.
+const poolCap = 4
+
+// portFree is a port's node free list. Only the port's (single, by the
+// port discipline) goroutine touches it, so the fields need no atomics;
+// the padding keeps neighboring ports' lists off each other's cache lines.
+type portFree struct {
+	nodes [poolCap]*qnode
+	n     int
+	_     [cacheLineSize - (unsafe.Sizeof([poolCap]*qnode{})+unsafe.Sizeof(int(0)))%cacheLineSize]byte
 }
 
 // Mutex is a k-ported recoverable mutual-exclusion lock: the runtime port
@@ -24,32 +51,60 @@ type qnode struct {
 // under the port discipline documented in the package comment.
 type Mutex struct {
 	ports int
+	strat wait.Strategy
+	pool  bool
 
 	// Sentinels (Figure 3): distinct nodes whose Pred points to themselves;
 	// special is the pre-completed node the first queue entry hangs off.
 	crashN, incsN, exitN, specialN *qnode
 
 	tail    atomic.Pointer[qnode]
-	node    []atomic.Pointer[qnode]
+	node    []paddedQnodePtr
 	rl      *rlock
 	crashFn atomic.Pointer[CrashFunc]
+
+	free []portFree
+
+	// repairStarts/repairEnds fence node recycling against queue repairs:
+	// starts is bumped by a repairer after winning the repair lock and
+	// before scanning the port table, ends is set back to starts when its
+	// repair section completes (both while still holding the repair lock,
+	// so they are totally ordered). A free-list pop refuses to recycle
+	// unless starts == ends — i.e. no repair is mid-flight whose private
+	// scan snapshot could still reference the retired node. A repair that
+	// begins after the pop's check can only find the node through live
+	// pointers, which the consumed protocol already guarantees are gone.
+	repairStarts atomic.Uint64
+	repairEnds   atomic.Uint64
+
+	// scratch holds the fragment-graph containers for repair, reused
+	// across repairs; repair runs inside the repair lock's CS, so a single
+	// set per Mutex suffices. Cleared at the start of every repair (not
+	// the end) so a crash mid-repair cannot leave the next repair reading
+	// a predecessor's leftovers.
+	scratch repairScratch
 }
 
 // New creates a recoverable mutex with the given number of ports (the
 // maximum number of concurrent super-passages, usually the worker count).
-func New(ports int) *Mutex {
+func New(ports int, opts ...Option) *Mutex {
 	if ports <= 0 {
 		panic("rme: New needs at least one port")
 	}
+	cfg := buildConfig(opts)
 	m := &Mutex{
 		ports:    ports,
+		strat:    cfg.strat,
+		pool:     cfg.pool,
 		crashN:   new(qnode),
 		incsN:    new(qnode),
 		exitN:    new(qnode),
 		specialN: new(qnode),
-		node:     make([]atomic.Pointer[qnode], ports),
-		rl:       newRLock(ports),
+		node:     make([]paddedQnodePtr, ports),
+		free:     make([]portFree, ports),
+		scratch:  newRepairScratch(ports),
 	}
+	m.rl = newRLock(ports, cfg.strat)
 	m.crashN.pred.Store(m.crashN)
 	m.incsN.pred.Store(m.incsN)
 	m.exitN.pred.Store(m.exitN)
@@ -83,6 +138,83 @@ func (m *Mutex) Held(port int) bool {
 	return n != nil && n.pred.Load() == m.incsN
 }
 
+// getNode supplies the node for a fresh passage: recycled from the port's
+// free list when pooling is on and a retired node is provably reusable,
+// freshly allocated otherwise.
+func (m *Mutex) getNode(port int) *qnode {
+	if m.pool {
+		if n := m.popFree(port); n != nil {
+			return n
+		}
+	}
+	return new(qnode)
+}
+
+// popFree returns a reusable retired node of port, or nil. Reuse is safe
+// only when (a) the node's successor has consumed it and (b) no queue
+// repair is in flight whose scan snapshot predates the consumption (see
+// repairStarts/repairEnds). Unusable entries stay listed — they may
+// become usable once the consumer or repairer finishes.
+//
+// The check order is load-bearing: consumed MUST be read before the
+// fence. A repairer that captured a stale pred-edge to n scanned it
+// before the successor's overwrite, hence (program order) its
+// repairStarts.Add also precedes the overwrite, which precedes the
+// consumed store this pop observed — so by the time the fence loads run,
+// that repair is visible in repairStarts and, if still undecided, in
+// starts != ends. Fence-first reverses that chain: a repair can begin
+// between the fence loads and the consumed load, scan the successor's
+// pred just before the overwrite lands, and still satisfy every check —
+// leaving it holding the node in its fragment graph while we recycle it.
+func (m *Mutex) popFree(port int) *qnode {
+	f := &m.free[port]
+	for i := 0; i < f.n; i++ {
+		n := f.nodes[i]
+		if !n.consumed.Load() {
+			continue
+		}
+		starts := m.repairStarts.Load()
+		if m.repairEnds.Load() != starts {
+			return nil
+		}
+		// Unlist before touching the node: a crash between here and the
+		// publication at L12 merely leaks the node to the GC.
+		f.n--
+		f.nodes[i] = f.nodes[f.n]
+		f.nodes[f.n] = nil
+		n.recycle()
+		return n
+	}
+	return nil
+}
+
+// pushFree retires a node whose exit completed (line 29). If the list is
+// full the oldest entry is dropped for the GC to collect.
+func (m *Mutex) pushFree(port int, n *qnode) {
+	if !m.pool {
+		return
+	}
+	f := &m.free[port]
+	if f.n == poolCap {
+		copy(f.nodes[:], f.nodes[1:])
+		f.n--
+	}
+	f.nodes[f.n] = n
+	f.n++
+}
+
+// recycle returns a consumed node to its zero state for a fresh passage.
+// The node is unreachable from the protocol here (successor consumed it,
+// the port-table slot was cleared, Tail moved past it), so these stores
+// cannot race live readers; the port-table publication at line 12 is what
+// re-releases the node to the world.
+func (n *qnode) recycle() {
+	n.pred.Store(nil)
+	n.nonNil.reset()
+	n.cs.reset()
+	n.consumed.Store(false)
+}
+
 // Lock acquires the critical section through port (the paper's Try
 // section, lines 10–26). If the port's previous passage was interrupted by
 // a crash, Lock performs the recovery: wait-free re-entry if the crash was
@@ -96,7 +228,7 @@ func (m *Mutex) Lock(port int) {
 		if n == nil {
 			// Fresh passage: enqueue with one FAS.
 			m.cp(port, "L11")
-			n = new(qnode)
+			n = m.getNode(port)
 			m.cp(port, "L12")
 			m.node[port].Store(n)
 			m.cp(port, "L13")
@@ -106,9 +238,10 @@ func (m *Mutex) Lock(port int) {
 			m.cp(port, "L15")
 			n.nonNil.set()
 			m.cp(port, "L25")
-			pred.cs.wait()
+			pred.cs.wait(m.strat)
 			m.cp(port, "L26")
 			n.pred.Store(m.incsN)
+			pred.consumed.Store(true)
 			return
 		}
 
@@ -127,18 +260,22 @@ func (m *Mutex) Lock(port int) {
 			n.cs.set()
 			m.cp(port, "L29")
 			m.node[port].Store(nil)
+			m.pushFree(port, n)
 			continue
 		}
 		m.cp(port, "L23")
 		n.nonNil.set()
 		m.cp(port, "L24")
 		m.rl.lock(m, port)
+		seq := m.repairStarts.Add(1)
 		pred = m.repair(port, n, pred)
+		m.repairEnds.Store(seq)
 		m.rl.unlock(m, port)
 		m.cp(port, "L25")
-		pred.cs.wait()
+		pred.cs.wait(m.strat)
 		m.cp(port, "L26")
 		n.pred.Store(m.incsN)
+		pred.consumed.Store(true)
 		return
 	}
 }
@@ -158,6 +295,64 @@ func (m *Mutex) Unlock(port int) {
 	n.cs.set()
 	m.cp(port, "L29")
 	m.node[port].Store(nil)
+	m.pushFree(port, n)
+}
+
+// repairScratch holds the fragment-graph containers repair needs, pre-sized
+// to the port count and reused across repairs. Repairs are serialized by
+// the repair lock, so one scratch per Mutex is enough; every use clears
+// the containers first, which also makes a crash mid-repair harmless.
+type repairScratch struct {
+	vertices map[*qnode]struct{}
+	out      map[*qnode]*qnode
+	indeg    map[*qnode]int
+	paths    [][]*qnode
+}
+
+func newRepairScratch(ports int) repairScratch {
+	// Each of the k scanned nodes contributes itself and at most one
+	// predecessor, so 2k bounds every container.
+	return repairScratch{
+		vertices: make(map[*qnode]struct{}, 2*ports),
+		out:      make(map[*qnode]*qnode, 2*ports),
+		indeg:    make(map[*qnode]int, 2*ports),
+		paths:    make([][]*qnode, 0, 2*ports),
+	}
+}
+
+func (sc *repairScratch) reset() {
+	clear(sc.vertices)
+	clear(sc.out)
+	clear(sc.indeg)
+	sc.paths = sc.paths[:0]
+}
+
+// maximalPaths computes the maximal paths of the fragment graph (line 39).
+// In every reachable state the graph is a union of disjoint simple paths
+// (the paper's invariant C23), so indegree-zero starts cover all vertices.
+// The vertex map's iteration order only permutes the order of the returned
+// paths; since the paths partition the vertices, nothing downstream can
+// depend on it (see the uniqueness notes in repair).
+func (sc *repairScratch) maximalPaths() [][]*qnode {
+	for _, v := range sc.out {
+		sc.indeg[v]++
+	}
+	for v := range sc.vertices {
+		if sc.indeg[v] != 0 {
+			continue
+		}
+		p := []*qnode{v}
+		for cur := v; ; {
+			next, ok := sc.out[cur]
+			if !ok {
+				break
+			}
+			p = append(p, next)
+			cur = next
+		}
+		sc.paths = append(sc.paths, p)
+	}
+	return sc.paths
 }
 
 // repair is the critical section of RLock (Figure 4, lines 30–49): scan
@@ -165,6 +360,15 @@ func (m *Mutex) Unlock(port int) {
 // port's fragment — by a fresh FAS on Tail if the tail fragment already
 // reaches the CS, by adopting the head fragment's start otherwise, or by
 // adopting the SpecialNode when the whole queue is down.
+//
+// The fragment graph lives in map containers, but no outcome depends on
+// their iteration order: the paths are vertex-disjoint (invariant C23), so
+// mynode and the scanned Tail value each lie in exactly one path, and at
+// most one path can qualify as the head fragment — it must reach the CS at
+// its old end (last node's pred ∈ {InCS, Exit}) without having exited at
+// its new end (first node's pred ≠ Exit), and the queue invariants admit
+// only one such fragment. First-match or last-match, the loops below pick
+// the same paths on every iteration order.
 func (m *Mutex) repair(port int, mynode, mypred *qnode) *qnode {
 	m.cp(port, "L30")
 	if mypred != m.crashN {
@@ -172,8 +376,8 @@ func (m *Mutex) repair(port int, mynode, mypred *qnode) *qnode {
 	}
 	m.cp(port, "L31")
 	tail := m.tail.Load()
-	vertices := make(map[*qnode]struct{}, m.ports)
-	out := make(map[*qnode]*qnode, m.ports)
+	sc := &m.scratch
+	sc.reset()
 	for i := 0; i < m.ports; i++ {
 		m.cp(port, "L33")
 		cur := m.node[i].Load()
@@ -181,22 +385,22 @@ func (m *Mutex) repair(port int, mynode, mypred *qnode) *qnode {
 			continue
 		}
 		m.cp(port, "L35")
-		cur.nonNil.wait()
+		cur.nonNil.wait(m.strat)
 		m.cp(port, "L36")
 		curpred := cur.pred.Load()
 		if m.isSentinel(curpred) {
-			vertices[cur] = struct{}{}
+			sc.vertices[cur] = struct{}{}
 		} else {
-			vertices[cur] = struct{}{}
-			vertices[curpred] = struct{}{}
-			out[cur] = curpred
+			sc.vertices[cur] = struct{}{}
+			sc.vertices[curpred] = struct{}{}
+			sc.out[cur] = curpred
 		}
 	}
-	paths := maximalQPaths(vertices, out)
+	paths := sc.maximalPaths()
 
 	var mypath, tailpath, headpath []*qnode
 	for _, sigma := range paths {
-		if sigma[0] == mynode || contains(sigma, mynode) {
+		if contains(sigma, mynode) {
 			mypath = sigma
 			break
 		}
@@ -204,7 +408,7 @@ func (m *Mutex) repair(port int, mynode, mypred *qnode) *qnode {
 	if mypath == nil {
 		panic("rme: repairing node not in any fragment (corrupted state)")
 	}
-	if _, ok := vertices[tail]; ok {
+	if _, ok := sc.vertices[tail]; ok {
 		for _, sigma := range paths {
 			if contains(sigma, tail) {
 				tailpath = sigma
@@ -252,31 +456,4 @@ func contains(path []*qnode, n *qnode) bool {
 		}
 	}
 	return false
-}
-
-// maximalQPaths computes the maximal paths of the fragment graph (line 39).
-// In every reachable state the graph is a union of disjoint simple paths
-// (the paper's invariant C23), so indegree-zero starts cover all vertices.
-func maximalQPaths(vertices map[*qnode]struct{}, out map[*qnode]*qnode) [][]*qnode {
-	indeg := make(map[*qnode]int, len(vertices))
-	for _, v := range out {
-		indeg[v]++
-	}
-	paths := make([][]*qnode, 0, len(vertices))
-	for v := range vertices {
-		if indeg[v] != 0 {
-			continue
-		}
-		p := []*qnode{v}
-		for cur := v; ; {
-			next, ok := out[cur]
-			if !ok {
-				break
-			}
-			p = append(p, next)
-			cur = next
-		}
-		paths = append(paths, p)
-	}
-	return paths
 }

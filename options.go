@@ -1,0 +1,66 @@
+package rme
+
+import "github.com/rmelib/rme/internal/wait"
+
+// WaitStrategy selects how a waiter in the lock stack passes the time
+// between publishing its spin word and being woken: every busy-wait in the
+// runtime port — the Signal object's wait, the repair lock's tournament
+// entry — goes through the same internal/wait engine, and the strategy is
+// its tuning knob. Construct one with YieldWaitStrategy, SpinWaitStrategy,
+// or SpinParkWaitStrategy.
+type WaitStrategy = wait.Strategy
+
+// YieldWaitStrategy probes the spin word and yields to the Go scheduler
+// between probes. This is the default: it behaves reasonably at any ratio
+// of ports to GOMAXPROCS, at the cost of scheduler round-trips on every
+// handoff.
+func YieldWaitStrategy() WaitStrategy { return wait.Yield() }
+
+// SpinWaitStrategy spins with procyield-style exponential backoff and no
+// scheduler interaction until a generous budget is exhausted. It has the
+// lowest handoff latency when every waiter owns a core; do not use it when
+// runnable waiters can exceed GOMAXPROCS.
+func SpinWaitStrategy() WaitStrategy { return wait.Spin() }
+
+// SpinParkWaitStrategy spins for spinRounds backoff rounds, then parks the
+// goroutine on a channel until the wake arrives. This is the strategy for
+// oversubscribed workloads (ports ≫ GOMAXPROCS), where spinning waiters
+// would otherwise starve the one goroutine able to make progress.
+// spinRounds <= 0 selects a small default.
+func SpinParkWaitStrategy(spinRounds int) WaitStrategy { return wait.SpinThenPark(spinRounds) }
+
+// Option configures a Mutex or TreeMutex at construction.
+type Option func(*config)
+
+type config struct {
+	strat wait.Strategy
+	pool  bool
+}
+
+func buildConfig(opts []Option) config {
+	c := config{strat: wait.Yield()}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithWaitStrategy selects the busy-wait discipline for every wait in the
+// lock (and, on a TreeMutex, in every tree node). A nil strategy keeps the
+// default (YieldWaitStrategy).
+func WithWaitStrategy(s WaitStrategy) Option {
+	return func(c *config) {
+		if s != nil {
+			c.strat = s
+		}
+	}
+}
+
+// WithNodePool recycles queue nodes through a small per-port free list
+// once their successor is provably done with them, making the crash-free
+// Lock/Unlock fast path allocation-free. Nodes whose reuse cannot be
+// proven safe (a queue repair was in flight) are conservatively leaked to
+// the garbage collector, so crash recovery is unaffected.
+func WithNodePool(enabled bool) Option {
+	return func(c *config) { c.pool = enabled }
+}

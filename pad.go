@@ -1,0 +1,31 @@
+package rme
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// cacheLineSize is the padding granularity for hot shared arrays: 128
+// bytes covers the usual 64-byte line plus the adjacent-line spatial
+// prefetcher on common x86 parts, so two neighboring array slots never
+// ping-pong a line (or a prefetched pair) between writers.
+//
+// Pads are computed from unsafe.Sizeof (a constant expression) rather
+// than literal word sizes so the layouts hold on 32-bit targets too;
+// TestPaddedLayout pins the invariant.
+const cacheLineSize = 128
+
+// paddedInt32 is an atomic.Int32 alone on its cache line(s). Used for
+// per-port words that different ports write concurrently (rlock stages).
+type paddedInt32 struct {
+	atomic.Int32
+	_ [cacheLineSize - unsafe.Sizeof(atomic.Int32{})%cacheLineSize]byte
+}
+
+// paddedQnodePtr is an atomic.Pointer[qnode] alone on its cache line(s).
+// Used for the port table Node[p], which every repair scans while owners
+// store to their own slot.
+type paddedQnodePtr struct {
+	atomic.Pointer[qnode]
+	_ [cacheLineSize - unsafe.Sizeof(atomic.Pointer[qnode]{})%cacheLineSize]byte
+}

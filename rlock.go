@@ -1,12 +1,18 @@
 package rme
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/rmelib/rme/internal/wait"
+)
 
 // rlock is the runtime port of internal/rlock: the k-ported recoverable
 // tournament lock that serializes queue repairs (the paper's RLock). See
 // the package documentation of internal/rlock for the design and the
 // model-checking evidence; this file is a mechanical translation of the
-// verified step machine onto sync/atomic.
+// verified step machine onto sync/atomic, with all waiting delegated to
+// the internal/wait engine.
 //
 // Per-port NVRAM state is the stage word; everything else a process needs
 // is reconstructed by re-running the protocol, whose entry is made
@@ -17,15 +23,22 @@ type rlock struct {
 	levels int
 	// nodes[l][g]: tournament node g at level l.
 	nodes [][]rlockNode
-	// spinPub[p][l]: port p's published spin variable for level l.
-	spinPub [][]atomic.Pointer[atomic.Bool]
-	// stage[p]: per-port recovery stage.
-	stage []atomic.Int32
+	// spinPub[p][l]: port p's publication cell for its level-l spin word.
+	spinPub [][]wait.Cell
+	// stage[p]: per-port recovery stage, one cache line each.
+	stage []paddedInt32
+	// strat is the wait strategy shared with the owning Mutex.
+	strat wait.Strategy
 }
 
+// rlockNode is one Peterson tournament node. Both fields are stormed by the
+// two subtree rivals, so each node gets its own cache line (and padding
+// against the adjacent-line prefetcher) to keep rival pairs from false
+// sharing with their neighbors in the level array.
 type rlockNode struct {
 	flag [2]atomic.Int32 // claimant port + 1, or 0
 	turn atomic.Int32    // side that must yield (Peterson)
+	_    [cacheLineSize - (unsafe.Sizeof([2]atomic.Int32{})+unsafe.Sizeof(atomic.Int32{}))%cacheLineSize]byte
 }
 
 // Stage values (same meaning as internal/rlock).
@@ -36,21 +49,21 @@ const (
 	rlExiting
 )
 
-func newRLock(ports int) *rlock {
+func newRLock(ports int, strat wait.Strategy) *rlock {
 	levels := 0
 	for 1<<levels < ports {
 		levels++
 	}
-	l := &rlock{ports: ports, levels: levels}
+	l := &rlock{ports: ports, levels: levels, strat: strat}
 	l.nodes = make([][]rlockNode, levels)
 	for lvl := 0; lvl < levels; lvl++ {
 		l.nodes[lvl] = make([]rlockNode, 1<<(levels-lvl-1))
 	}
-	l.spinPub = make([][]atomic.Pointer[atomic.Bool], ports)
+	l.spinPub = make([][]wait.Cell, ports)
 	for p := range l.spinPub {
-		l.spinPub[p] = make([]atomic.Pointer[atomic.Bool], levels)
+		l.spinPub[p] = make([]wait.Cell, levels)
 	}
-	l.stage = make([]atomic.Int32, ports)
+	l.stage = make([]paddedInt32, ports)
 	return l
 }
 
@@ -90,7 +103,9 @@ func (l *rlock) unlock(m *Mutex, port int) {
 
 // entry wins one tournament node: Peterson with a published local spin
 // word, an entry wake for possibly-stale rivals, and a re-check after every
-// wake (which is what makes blind re-execution after a crash safe).
+// wake (which is what makes blind re-execution after a crash safe — a
+// crash abandons the published word, and wait.Cell loses stale wakes
+// aimed at it).
 func (l *rlock) entry(m *Mutex, port, lvl int) {
 	n := l.node(port, lvl)
 	s := side(port, lvl)
@@ -98,9 +113,9 @@ func (l *rlock) entry(m *Mutex, port, lvl int) {
 	n.flag[s].Store(int32(port + 1))
 	m.cp(port, "R.e1")
 	n.turn.Store(int32(1 - s))
-	sp := new(atomic.Bool)
+	w := l.strat.New()
 	m.cp(port, "R.e2")
-	l.spinPub[port][lvl].Store(sp)
+	l.spinPub[port][lvl].Publish(w)
 	for {
 		m.cp(port, "R.e3")
 		r := n.flag[1-s].Load()
@@ -114,13 +129,9 @@ func (l *rlock) entry(m *Mutex, port, lvl int) {
 		// left spinning by an earlier crash of ours (it re-checks, so a
 		// spurious wake is harmless).
 		m.cp(port, "R.e5")
-		if a := l.spinPub[r-1][lvl].Load(); a != nil {
-			a.Store(true)
-		}
-		for !sp.Load() {
-			spinWait()
-		}
-		sp.Store(false) // consume the wake, then re-check
+		l.spinPub[r-1][lvl].Wake()
+		l.strat.Sleep(w)
+		w.Consume() // consume the wake, then re-check
 	}
 }
 
@@ -144,8 +155,6 @@ func (l *rlock) replayExit(m *Mutex, port int) {
 			continue
 		}
 		m.cp(port, "R.x4")
-		if a := l.spinPub[r-1][lvl].Load(); a != nil {
-			a.Store(true)
-		}
+		l.spinPub[r-1][lvl].Wake()
 	}
 }

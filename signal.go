@@ -1,12 +1,20 @@
 package rme
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/rmelib/rme/internal/wait"
+)
 
 // signal is the runtime port of the paper's Signal object (Figure 2): a
-// single-shot flag with set and wait, where the waiter spins on a boolean
-// it allocated itself. On the paper's DSM machine that placement makes the
+// single-shot flag with set and wait, where the waiter spins on a word it
+// allocated itself. On the paper's DSM machine that placement makes the
 // busy-wait local; at runtime it additionally keeps each waiter on its own
 // cache line most of the time.
+//
+// All waiting is delegated to the internal/wait engine: the signal holds
+// only the persistent bit and the publication Cell (Figure 2's GoAddr);
+// how the waiter passes the time is the mutex's wait.Strategy.
 //
 // The algorithm guarantees no two wait executions are ever concurrent on
 // the same signal (a node's CS_Signal is awaited only by its unique
@@ -15,33 +23,29 @@ type signal struct {
 	// bit is the persistent state: 1 once set() has happened (Figure 2's
 	// Bit).
 	bit atomic.Bool
-	// goAddr is the published spin variable of the current waiter
+	// cell is the publication slot of the current waiter's spin word
 	// (Figure 2's GoAddr).
-	goAddr atomic.Pointer[atomic.Bool]
+	cell wait.Cell
 }
 
 // set makes the signal's state 1 and wakes the published waiter, if any
 // (Figure 2 lines 1–4).
 func (s *signal) set() {
 	s.bit.Store(true)
-	if addr := s.goAddr.Load(); addr != nil {
-		addr.Store(true)
-	}
+	s.cell.Wake()
 }
 
 // wait returns once the signal's state is 1 (Figure 2 lines 5–9). A fresh
-// spin boolean is allocated per call — exactly the paper's line 5 — which
-// is also what makes re-execution after a crash safe: a stale wake directed
-// at an abandoned boolean is simply lost.
-func (s *signal) wait() {
-	g := new(atomic.Bool)
-	s.goAddr.Store(g)
+// spin word is published per blocking call — exactly the paper's line 5 —
+// which is also what makes re-execution after a crash safe: a stale wake
+// directed at an abandoned word is simply lost (wait.Cell's contract). An
+// already-set signal returns before publishing anything, keeping the
+// crash-free fast path allocation-free.
+func (s *signal) wait(st wait.Strategy) {
 	if s.bit.Load() {
 		return
 	}
-	for !g.Load() {
-		spinWait()
-	}
+	s.cell.Await(st, s.bit.Load)
 }
 
 // isSet reports the state without side effects (used by tests).
@@ -49,3 +53,10 @@ func (s *signal) isSet() bool { return s.bit.Load() }
 
 // forceSet initializes a pre-set signal (the SpecialNode's).
 func (s *signal) forceSet() { s.bit.Store(true) }
+
+// reset returns the signal to its zero state for a recycled qnode life.
+// Only called while the enclosing node is unreachable from the protocol.
+func (s *signal) reset() {
+	s.bit.Store(false)
+	s.cell.Reset()
+}

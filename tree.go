@@ -65,8 +65,9 @@ func TreeArity(n int) int {
 }
 
 // NewTree creates an n-process arbitration-tree mutex with the paper's
-// default node degree.
-func NewTree(n int) *TreeMutex {
+// default node degree. Options (wait strategy, node pooling) are threaded
+// through to every tree node's Mutex.
+func NewTree(n int, opts ...Option) *TreeMutex {
 	if n <= 0 {
 		panic("rme: NewTree needs at least one process")
 	}
@@ -76,7 +77,7 @@ func NewTree(n int) *TreeMutex {
 		groups = (groups + t.arity - 1) / t.arity
 		level := make([]*Mutex, groups)
 		for g := range level {
-			level[g] = New(t.arity)
+			level[g] = New(t.arity, opts...)
 		}
 		t.nodes = append(t.nodes, level)
 		t.levels++
@@ -188,4 +189,5 @@ func (m *Mutex) exitRecover(port int) {
 	n.cs.set()
 	m.cp(port, "L29")
 	m.node[port].Store(nil)
+	m.pushFree(port, n)
 }
