@@ -469,6 +469,39 @@ func BenchmarkE13FastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkE15TreeHandoff measures the arbitration tree under contention —
+// the runtime-port counterpart of E4's simulated O(log n / log log n)
+// bound — with per-level wake counters reported as the RMR proxy for the
+// tree hand-off cost.
+func BenchmarkE15TreeHandoff(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			m := rme.NewTree(n, rme.WithNodePool(true), rme.WithTreeInstrumentation(true))
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N/n + 1
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(proc int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m.Lock(proc)
+						runtime.Gosched() // CS work, as in internal/rtbench
+						m.Unlock(proc)
+						runtime.Gosched()
+					}
+				}(w)
+			}
+			wg.Wait()
+			var wakes uint64
+			for _, ls := range m.LevelStats() {
+				wakes += ls.Wakes.Load()
+			}
+			b.ReportMetric(float64(wakes)/float64(per*n), "wakes/passage")
+		})
+	}
+}
+
 // BenchmarkE14Oversubscribed runs ports = 32·GOMAXPROCS worker goroutines
 // through the lock — the workload that makes pure spinning pathological
 // and that the spin-then-park strategy exists for. The pure-spin strategy

@@ -1,16 +1,17 @@
 // Command rmebench regenerates the paper-reproduction experiment tables
 // recorded in EXPERIMENTS.md, and benchmarks the runtime lock stack across
 // the wait-strategy × node-pool matrix. Experiment runs (E1–E11) are
-// deterministic; the runtime benchmarks (-json) are wall-clock and
-// hardware-dependent.
+// deterministic; the runtime benchmarks (-json, -compare) are wall-clock
+// and hardware-dependent.
 //
 // Usage:
 //
-//	rmebench            # run every experiment
-//	rmebench -exp E5    # run one experiment (E1..E11)
-//	rmebench -list      # list experiments
-//	rmebench -md        # emit EXPERIMENTS.md to stdout
-//	rmebench -json      # benchmark the runtime lock, write BENCH_<scenario>.json
+//	rmebench                          # run every experiment
+//	rmebench -exp E5                  # run one experiment (E1..E11)
+//	rmebench -list                    # list experiments
+//	rmebench -md                      # emit EXPERIMENTS.md to stdout
+//	rmebench -json                    # benchmark the runtime lock, write BENCH_<scenario>.json
+//	rmebench -compare BENCH_x.json    # re-run x's scenarios, fail on regression vs the file
 package main
 
 import (
@@ -31,9 +32,19 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed)")
+		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed)")
+		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
+		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(strings.Split(*compare, ","), *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut {
 		if err := runRuntimeBench(*outDir, *scenario); err != nil {
@@ -90,14 +101,33 @@ func main() {
 	}
 }
 
+func printSample(s rtbench.Sample) {
+	fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v %12.1f ns/op %7.3f allocs/op %8.2f wakes/op",
+		s.Strategy, s.Pool, s.NsPerOp, s.AllocsPerOp, s.WakesPerOp)
+	if len(s.LevelWakesPerOp) > 0 {
+		fmt.Fprintf(os.Stderr, "  levels[")
+		for i, w := range s.LevelWakesPerOp {
+			if i > 0 {
+				fmt.Fprintf(os.Stderr, " ")
+			}
+			fmt.Fprintf(os.Stderr, "%.2f", w)
+		}
+		fmt.Fprintf(os.Stderr, "]")
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
 // runRuntimeBench measures the strategy × pool matrix and writes one
-// BENCH_<scenario>.json per scenario.
+// BENCH_<file>.json per scenario file group (the two tree scenarios share
+// BENCH_tree.json).
 func runRuntimeBench(outDir, only string) error {
 	// Fail on an unwritable destination before burning benchmark time.
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	ran := 0
+	var fileOrder []string
+	byFile := make(map[string][]rtbench.Sample)
 	for _, sc := range rtbench.Scenarios() {
 		if only != "" && !strings.EqualFold(only, sc.Name) {
 			continue
@@ -106,18 +136,13 @@ func runRuntimeBench(outDir, only string) error {
 		fmt.Fprintf(os.Stderr, "benchmarking %s (%d ports)...\n", sc.Name, sc.Ports())
 		samples := rtbench.RunScenario(sc)
 		for _, s := range samples {
-			fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v %12.1f ns/op %7.3f allocs/op %8.2f wakes/op\n",
-				s.Strategy, s.Pool, s.NsPerOp, s.AllocsPerOp, s.WakesPerOp)
+			printSample(s)
 		}
-		buf, err := json.MarshalIndent(samples, "", "  ")
-		if err != nil {
-			return err
+		f := sc.FileName()
+		if _, ok := byFile[f]; !ok {
+			fileOrder = append(fileOrder, f)
 		}
-		path := fmt.Sprintf("%s/BENCH_%s.json", outDir, sc.Name)
-		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		byFile[f] = append(byFile[f], samples...)
 	}
 	if ran == 0 {
 		names := make([]string, 0, len(rtbench.Scenarios()))
@@ -126,6 +151,111 @@ func runRuntimeBench(outDir, only string) error {
 		}
 		return fmt.Errorf("no scenario matches -scenario %q (have: %s)", only, strings.Join(names, ", "))
 	}
+	for _, f := range fileOrder {
+		buf, err := json.MarshalIndent(byFile[f], "", "  ")
+		if err != nil {
+			return err
+		}
+		path := fmt.Sprintf("%s/BENCH_%s.json", outDir, f)
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// cellKey identifies one matrix cell across baseline and fresh runs.
+type cellKey struct {
+	Scenario string
+	Strategy string
+	Pool     bool
+}
+
+// runCompare re-runs every scenario recorded in the given baseline files
+// and fails (non-nil error) on a performance regression against them:
+//
+//   - allocs/op may not increase (beyond a 0.01 rounding epsilon) — this
+//     is the machine-independent zero-allocation gate;
+//   - ns/op may not increase by more than tol, compared only when the
+//     baseline was recorded at the same GOMAXPROCS (wall-clock numbers
+//     from a different core count are not comparable).
+//
+// Cells present on only one side (e.g. the pure-spin strategy, which is
+// auto-skipped when ports exceed GOMAXPROCS) are reported and skipped.
+func runCompare(files []string, tol float64) error {
+	baseline := make(map[cellKey]rtbench.Sample)
+	wantScenario := make(map[string]bool)
+	for _, f := range files {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var samples []rtbench.Sample
+		if err := json.Unmarshal(buf, &samples); err != nil {
+			return fmt.Errorf("%s: %v", f, err)
+		}
+		for _, s := range samples {
+			baseline[cellKey{s.Scenario, s.Strategy, s.Pool}] = s
+			wantScenario[s.Scenario] = true
+		}
+	}
+	if len(baseline) == 0 {
+		return fmt.Errorf("no baseline samples in %s", strings.Join(files, ","))
+	}
+
+	const allocEps = 0.01
+	regressions := 0
+	compared := make(map[cellKey]bool)
+	for _, sc := range rtbench.Scenarios() {
+		if !wantScenario[sc.Name] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "comparing %s (%d ports)...\n", sc.Name, sc.Ports())
+		for _, s := range rtbench.RunScenario(sc) {
+			key := cellKey{s.Scenario, s.Strategy, s.Pool}
+			b, ok := baseline[key]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v no baseline cell; skipped\n", s.Strategy, s.Pool)
+				continue
+			}
+			compared[key] = true
+			verdict := "ok"
+			if s.AllocsPerOp > b.AllocsPerOp+allocEps {
+				verdict = "ALLOCS REGRESSION"
+				regressions++
+			}
+			nsNote := "ns not compared (GOMAXPROCS differs)"
+			if s.GOMAXPROCS == b.GOMAXPROCS {
+				nsNote = fmt.Sprintf("ns %+.1f%%", 100*(s.NsPerOp-b.NsPerOp)/b.NsPerOp)
+				if s.NsPerOp > b.NsPerOp*(1+tol) && verdict == "ok" {
+					verdict = "NS/OP REGRESSION"
+					regressions++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v allocs %.3f -> %.3f, %s: %s\n",
+				s.Strategy, s.Pool, b.AllocsPerOp, s.AllocsPerOp, nsNote, verdict)
+		}
+	}
+	for key := range baseline {
+		if !compared[key] {
+			fmt.Fprintf(os.Stderr, "  baseline cell %s/%s/pool=%v not produced by this host; skipped\n",
+				key.Scenario, key.Strategy, key.Pool)
+		}
+	}
+	if len(compared) == 0 {
+		// A gate that compares nothing must not pass: this catches renamed
+		// scenarios (or stale baselines) silently disabling the check.
+		return fmt.Errorf("no baseline cell was re-run (scenario names stale?)")
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d cell(s) regressed vs baseline", regressions)
+	}
+	fmt.Fprintln(os.Stderr, "no regressions")
 	return nil
 }
 
@@ -170,9 +300,18 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("    go run ./cmd/rmebench -json")
 	fmt.Println()
 	fmt.Println("which writes `BENCH_<scenario>.json` per workload shape")
-	fmt.Println("(uncontended, contended8, oversubscribed) across the wait-strategy")
-	fmt.Println("× node-pool matrix; committed samples give future changes a")
-	fmt.Println("trajectory to compare against. `go test -bench . -benchmem` runs")
-	fmt.Println("the same workloads as standard Go benchmarks (E12–E14).")
+	fmt.Println("(uncontended, contended8, oversubscribed for the flat lock;")
+	fmt.Println("BENCH_tree.json for the arbitration tree, contended and")
+	fmt.Println("oversubscribed, with per-level wake counters) across the")
+	fmt.Println("wait-strategy × node-pool matrix. With the generation-stamped wait")
+	fmt.Println("engine and the node pool on, every crash-free passage — contended")
+	fmt.Println("or not, under any strategy — is allocation-free, and")
+	fmt.Println()
+	fmt.Println("    go run ./cmd/rmebench -compare BENCH_<scenario>.json")
+	fmt.Println()
+	fmt.Println("re-runs the recorded scenarios and exits non-zero if allocs/op")
+	fmt.Println("rose at all or ns/op rose past the -tol threshold on a comparable")
+	fmt.Println("host (CI runs this as a smoke gate). `go test -bench . -benchmem`")
+	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E15).")
 	return failed
 }

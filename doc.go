@@ -51,6 +51,15 @@
 //     their successor is done with them, making the crash-free
 //     Lock/Unlock fast path allocation-free; reuse that cannot be proven
 //     safe (a queue repair in flight) falls back to allocation.
+//   - WithTreeInstrumentation attaches per-level RMR-proxy counters to a
+//     TreeMutex (see TreeMutex.LevelStats), exposing the arbitration
+//     tree's hand-off cost profile.
+//
+// The wait engine's spin words are generation-stamped and reusable (see
+// internal/wait): a stale wake aimed at a crashed waiter's abandoned
+// episode dies on a generation check instead of landing on a garbage
+// allocation. With the node pool on, every crash-free passage — contended
+// or uncontended, under any strategy — therefore allocates nothing.
 //
 // # Crash injection
 //

@@ -4,6 +4,12 @@
 // the results to BENCH_<scenario>.json files so successive changes leave a
 // comparable performance trajectory in the repository.
 //
+// Two lock shapes are measured: the flat k-ported Mutex (uncontended,
+// contended8, oversubscribed) and the n-process arbitration TreeMutex
+// (tree, tree_oversubscribed — both recorded in BENCH_tree.json), whose
+// per-level wake counters expose the paper's O(log n / log log n) hand-off
+// structure.
+//
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
 // records GOMAXPROCS alongside every sample.
@@ -28,6 +34,12 @@ import (
 // Scenario is one workload shape.
 type Scenario struct {
 	Name string
+	// File is the basename for BENCH_<File>.json; empty means Name.
+	// Scenarios may share a file (the tree pair does).
+	File string
+	// Tree drives an n-process TreeMutex instead of the flat Mutex; Ports
+	// is then the process count.
+	Tree bool
 	// Ports returns the port count (= worker goroutines), which may
 	// depend on GOMAXPROCS.
 	Ports func() int
@@ -36,6 +48,15 @@ type Scenario struct {
 	// SkipStrategies names strategies that are pathological for this
 	// shape and excluded by default (pure spinning while oversubscribed).
 	SkipStrategies []string
+}
+
+// FileName returns the basename under which the scenario's samples are
+// recorded (BENCH_<FileName>.json).
+func (sc Scenario) FileName() string {
+	if sc.File != "" {
+		return sc.File
+	}
+	return sc.Name
 }
 
 // Scenarios returns the benchmark matrix's workload axis.
@@ -50,6 +71,17 @@ func Scenarios() []Scenario {
 			// A pure spinner with more runnable waiters than processors
 			// burns whole scheduler quanta per handoff; the scenario
 			// exists to show the parking strategy fixing exactly that.
+			SkipStrategies: []string{"spin"},
+		},
+		{
+			Name: "tree", File: "tree", Tree: true,
+			Ports: func() int { return 16 },
+			Iters: 50_000,
+		},
+		{
+			Name: "tree_oversubscribed", File: "tree", Tree: true,
+			Ports:          func() int { return 8 * runtime.GOMAXPROCS(0) },
+			Iters:          10_000,
 			SkipStrategies: []string{"spin"},
 		},
 	}
@@ -85,14 +117,26 @@ type Sample struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 
 	// RMR-proxy counters from the wait engine, normalized per passage:
-	// each wake is one remote write to a peer's spin word and each sleep
-	// the matching remote-read miss, which is what the paper's CC cost
-	// model counts; spins and parks are local by construction.
+	// each wake is one remote write to another process's spin word and each
+	// sleep the matching remote-read miss, which is what the paper's CC
+	// cost model counts; spins and parks are local by construction.
 	PublishesPerOp  float64 `json:"publishes_per_op"`
 	SleepsPerOp     float64 `json:"sleeps_per_op"`
 	WakesPerOp      float64 `json:"wakes_per_op"`
 	ParksPerOp      float64 `json:"parks_per_op"`
 	SpinRoundsPerOp float64 `json:"spin_rounds_per_op"`
+
+	// Tree runs only: tree height and per-level wake deliveries per
+	// passage (index 0 = leaf level) — the hand-off cost profile of the
+	// arbitration tree.
+	Levels          int       `json:"levels,omitempty"`
+	LevelWakesPerOp []float64 `json:"level_wakes_per_op,omitempty"`
+}
+
+// locker is the common surface of Mutex and TreeMutex the harness drives.
+type locker interface {
+	Lock(int)
+	Unlock(int)
 }
 
 // runPassages drives total Lock/Unlock passages split across the ports.
@@ -105,7 +149,7 @@ type Sample struct {
 // host as contended ns/op equal to uncontended and zero wakes). With the
 // lock held across a yield, every runnable rival enqueues behind it and
 // the cell measures what it claims to: the strategy's handoff machinery.
-func runPassages(m *rme.Mutex, ports, total int) {
+func runPassages(m locker, ports, total int) {
 	var wg sync.WaitGroup
 	per := total / ports
 	extra := total % ports
@@ -136,47 +180,79 @@ func runPassages(m *rme.Mutex, ports, total int) {
 }
 
 // Run measures one matrix cell: a warm-up pass (which also fills the node
-// pool), then Iters measured passages. Allocation numbers come from the
-// runtime's global malloc counters, so they include the per-run worker
-// spawns — amortized over the passage count, that bias is < 0.01/op at
-// the configured scales.
+// pools and creates the reusable park channels), then Iters measured
+// passages. Allocation numbers come from the runtime's global malloc
+// counters, so they include the per-run worker spawns — amortized over the
+// passage count, that bias is < 0.01/op at the configured scales.
+//
+// Flat scenarios wrap the strategy with one global wait.Instrumented; tree
+// scenarios instead instrument per level (WithTreeInstrumentation) and
+// report the global counters as the sum over levels, so a wake is never
+// double-counted.
 func Run(sc Scenario, strategy string, pool bool) Sample {
 	ports := sc.Ports()
 	stats := &wait.Stats{}
-	st := wait.Instrumented(strategyByName(strategy), stats)
-	m := rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
+	var lk locker
+	var tm *rme.TreeMutex
+	if sc.Tree {
+		tm = rme.NewTree(ports,
+			rme.WithWaitStrategy(strategyByName(strategy)),
+			rme.WithNodePool(pool),
+			rme.WithTreeInstrumentation(true))
+		lk = tm
+	} else {
+		st := wait.Instrumented(strategyByName(strategy), stats)
+		lk = rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
+	}
 
 	warm := sc.Iters / 10
 	if warm < 8*ports {
 		warm = 8 * ports
 	}
-	runPassages(m, ports, warm)
+	runPassages(lk, ports, warm)
 	stats.Reset()
+	if tm != nil {
+		for _, ls := range tm.LevelStats() {
+			ls.Reset()
+		}
+	}
 
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	runPassages(m, ports, sc.Iters)
+	runPassages(lk, ports, sc.Iters)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
 	total := float64(sc.Iters)
-	return Sample{
-		Scenario:        sc.Name,
-		Strategy:        strategy,
-		Pool:            pool,
-		Ports:           ports,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Iters:           sc.Iters,
-		NsPerOp:         float64(elapsed.Nanoseconds()) / total,
-		AllocsPerOp:     float64(ms1.Mallocs-ms0.Mallocs) / total,
-		BytesPerOp:      float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
-		PublishesPerOp:  float64(stats.Publishes.Load()) / total,
-		SleepsPerOp:     float64(stats.Sleeps.Load()) / total,
-		WakesPerOp:      float64(stats.Wakes.Load()) / total,
-		ParksPerOp:      float64(stats.Parks.Load()) / total,
-		SpinRoundsPerOp: float64(stats.SpinRounds.Load()) / total,
+	s := Sample{
+		Scenario:    sc.Name,
+		Strategy:    strategy,
+		Pool:        pool,
+		Ports:       ports,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Iters:       sc.Iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / total,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / total,
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
 	}
+	if tm != nil {
+		s.Levels = tm.Levels()
+		for _, ls := range tm.LevelStats() {
+			s.LevelWakesPerOp = append(s.LevelWakesPerOp, float64(ls.Wakes.Load())/total)
+			stats.Publishes.Add(ls.Publishes.Load())
+			stats.Sleeps.Add(ls.Sleeps.Load())
+			stats.Wakes.Add(ls.Wakes.Load())
+			stats.Parks.Add(ls.Parks.Load())
+			stats.SpinRounds.Add(ls.SpinRounds.Load())
+		}
+	}
+	s.PublishesPerOp = float64(stats.Publishes.Load()) / total
+	s.SleepsPerOp = float64(stats.Sleeps.Load()) / total
+	s.WakesPerOp = float64(stats.Wakes.Load()) / total
+	s.ParksPerOp = float64(stats.Parks.Load()) / total
+	s.SpinRoundsPerOp = float64(stats.SpinRounds.Load()) / total
+	return s
 }
 
 // RunScenario measures every (strategy, pool) cell of one scenario,

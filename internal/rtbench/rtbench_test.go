@@ -22,3 +22,39 @@ func TestRunCell(t *testing.T) {
 		t.Fatalf("bad sample shape: %+v", s)
 	}
 }
+
+// TestRunTreeCell smokes the arbitration-tree cell: the sample must carry
+// the tree shape (height, per-level wake profile) and its aggregate wake
+// counter must equal the per-level sum.
+func TestRunTreeCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full measurement pass")
+	}
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "tree" {
+			sc = s
+		}
+	}
+	if !sc.Tree {
+		t.Fatal("tree scenario missing from Scenarios()")
+	}
+	sc.Iters = 5_000
+	s := Run(sc, "yield", true)
+	if s.NsPerOp <= 0 {
+		t.Fatalf("NsPerOp = %v, want > 0", s.NsPerOp)
+	}
+	if s.Levels <= 0 || len(s.LevelWakesPerOp) != s.Levels {
+		t.Fatalf("tree sample shape wrong: levels=%d profile=%v", s.Levels, s.LevelWakesPerOp)
+	}
+	var sum float64
+	for _, w := range s.LevelWakesPerOp {
+		sum += w
+	}
+	if diff := sum - s.WakesPerOp; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("level wakes sum %v != aggregate wakes %v", sum, s.WakesPerOp)
+	}
+	if sc.FileName() != "tree" {
+		t.Fatalf("tree scenario file = %q, want tree", sc.FileName())
+	}
+}

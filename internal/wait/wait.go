@@ -6,28 +6,64 @@
 //
 // # Protocol
 //
-// A waiting process allocates a fresh Waiter (the paper's spin variable,
-// Figure 2 line 5), publishes it in a Cell that its peers know about, then
-// re-checks the condition it is waiting for and goes to sleep. A peer that
-// changes the condition calls Cell.Wake, which delivers a wake to whichever
-// Waiter is currently published. The freshness of the Waiter per publication
-// is what makes re-execution after a crash safe: a stale wake aimed at an
-// abandoned Waiter lands on garbage and is simply lost, and a recycled wake
-// can never leak into a later wait (there is no later wait on that Waiter).
-//
+// A waiting process opens a wait episode on a Cell its peers know about
+// (Cell.Begin), re-checks the condition it is waiting for, and goes to
+// sleep on the Cell's Waiter. A peer that changes the condition calls
+// Cell.Wake, which delivers a wake to whichever episode is currently open.
 // Waits that must re-check a condition in a loop (the tournament lock's
 // entry protocol) call Waiter.Consume after each wake and loop; spurious
 // wakes are therefore always harmless.
 //
+// # Generations: why reuse is as crash-safe as fresh allocation
+//
+// The paper allocates a fresh spin variable per blocking wait (Figure 2
+// line 5), and an earlier version of this package did the same: the
+// freshness was the crash-safety argument, because a wake aimed at a spin
+// word that a crashed process abandoned lands on garbage and is simply
+// lost, never leaking into the re-executed wait's fresh word.
+//
+// This package gets the identical semantics without the allocation. Each
+// Cell owns one reusable Waiter whose atomic word packs a 32-bit
+// generation next to the wait state. Begin stamps a fresh generation
+// (clearing the state); a waker snapshots the word once and then delivers
+// its wake by CAS-ing the state only for the generation it snapshotted. A
+// stale wake — one whose snapshot predates a crash-and-re-execute (or any
+// republication) — carries an old generation, its CAS fails, and the wake
+// is lost, exactly as if it had landed on an abandoned allocation. A wake
+// whose snapshot follows the republication targets the live episode and is
+// delivered. There is no third case, so the case analysis of the
+// fresh-allocation argument carries over unchanged, and the crash-free
+// blocking path performs zero allocations.
+//
+// The missed-wakeup argument also carries over. A setter changes the
+// condition before (in the sequentially-consistent order of the word's
+// atomics) it snapshots the word; the waiter stamps the generation before
+// it re-checks the condition. If the snapshot precedes the stamp, the wake
+// is lost — but then the condition change also precedes the stamp, and the
+// waiter's post-stamp re-check observes it and never sleeps. If the
+// snapshot follows the stamp, the wake is delivered to the live episode.
+//
+// Generations are 32-bit and wrap around; only equality is ever compared,
+// so wraparound is harmless unless a waker stalls for exactly 2^32
+// republications of one slot between its snapshot and its CAS.
+//
+// The park channel is part of the same reuse story: it is created once
+// (lazily, by the parking strategy's first Attach on the slot) and reused
+// by every later episode. A wake token sent to an episode that was
+// abandoned after its waker committed the state transition can therefore
+// surface in a later episode as a stale token; Park guards against that by
+// re-checking the packed word after every channel receive and re-parking
+// on tokens that do not correspond to a delivered wake.
+//
 // # Strategies
 //
-// How a Waiter passes the time between publishing and being woken is the
+// How a Waiter passes the time between Begin and being woken is the
 // Strategy: pure spinning with procyield-style backoff (lowest handoff
 // latency, pathological when runnable waiters exceed GOMAXPROCS),
-// spin-then-park on a channel (survives heavy oversubscription), or
-// yielding to the Go scheduler on every probe (the conservative default).
-// All three deliver wakes through the same Waiter state machine, so the
-// crash-safety argument is strategy-independent.
+// spin-then-park on the reusable channel (survives heavy oversubscription),
+// or yielding to the Go scheduler on every probe (the conservative
+// default). All three deliver wakes through the same packed-word state
+// machine, so the crash-safety argument is strategy-independent.
 package wait
 
 import (
@@ -35,108 +71,172 @@ import (
 	"sync/atomic"
 )
 
-// Waiter states. A Waiter moves Empty→Set on wake, Empty→Parked when the
-// waiter blocks on its channel, Parked→Set on wake (with a channel send),
-// and Set→Empty on Consume.
+// Waiter states, held in the low bits of the packed word. A Waiter moves
+// Empty→Set on wake, Empty→Parked when the waiter blocks on the channel,
+// Parked→Set on wake (with a channel send), and Set→Empty on Consume.
+// Begin moves any state to Empty while bumping the generation.
 const (
-	stateEmpty int32 = iota
+	stateEmpty uint64 = iota
 	stateSet
 	stateParked
+
+	stateMask uint64 = 3
+	genShift         = 32
 )
 
-// Waiter is one published spin word: the unit a single waiting process
-// spins (or parks) on, allocated fresh for every publication.
+func pack(gen uint32, state uint64) uint64 { return uint64(gen)<<genShift | state }
+
+func genOf(word uint64) uint32 { return uint32(word >> genShift) }
+
+// Waiter is one reusable generation-stamped spin word: the unit a single
+// waiting process spins (or parks) on. It is owned by its Cell and recycled
+// for every episode; see the package comment for why that is as crash-safe
+// as allocating it fresh.
 type Waiter struct {
-	state atomic.Int32
-	// park carries at most one token per Parked episode; nil unless the
-	// Waiter was created parkable.
-	park  chan struct{}
-	stats *Stats
+	// word packs (generation << genShift | state) into one atomic 64-bit
+	// cell, so a wake can check the generation and deliver in a single CAS.
+	word atomic.Uint64
+	// ch is the reusable park token channel, created once by the parking
+	// strategy's Attach and never replaced. It is written before (and read
+	// after) operations on word, which order the plain accesses.
+	ch chan struct{}
+	// stats is the instrumentation sink bound at Begin; atomic because
+	// stale wakers may read it concurrently with a rebind.
+	stats atomic.Pointer[Stats]
 }
 
-// NewWaiter returns a fresh, unpublished Waiter. Parkable Waiters carry the
-// channel that Park blocks on; non-parkable ones avoid the allocation.
-func NewWaiter(parkable bool) *Waiter {
-	w := &Waiter{}
-	if parkable {
-		w.park = make(chan struct{}, 1)
-	}
-	return w
-}
-
-// Woken reports whether a wake has been delivered since the last Consume.
-func (w *Waiter) Woken() bool { return w.state.Load() == stateSet }
-
-// Wake delivers a wake: it marks the Waiter set and, if the waiter is
-// parked, hands it the park token. Safe to call concurrently and more than
-// once; extra wakes collapse into one.
-func (w *Waiter) Wake() {
-	if w.state.Swap(stateSet) == stateParked {
+// begin opens a fresh episode: bump the generation, clear the state, and
+// drain any park token leaked by a waker of a dead episode. The Swap (not a
+// plain store) is what hands the previous episode's happens-before edges —
+// including the park channel's creation — to a replacement goroutine.
+func (w *Waiter) begin() {
+	g := genOf(w.word.Load()) + 1 // wraps at 2^32, deliberately
+	w.word.Swap(pack(g, stateEmpty))
+	if w.ch != nil {
 		select {
-		case w.park <- struct{}{}:
+		case <-w.ch:
 		default:
 		}
 	}
-	if w.stats != nil {
-		w.stats.Wakes.Add(1)
+}
+
+// gen reports the current episode's generation (test hook; the waiter's own
+// strategy code never needs it because only the waiter bumps it).
+func (w *Waiter) gen() uint32 { return genOf(w.word.Load()) }
+
+// Woken reports whether a wake has been delivered to the current episode
+// since the last Consume.
+func (w *Waiter) Woken() bool { return w.word.Load()&stateMask == stateSet }
+
+// Consume clears a delivered wake so the Waiter can be waited on again
+// (the tournament lock's consume-then-re-check discipline) without closing
+// the episode: the generation is kept. Only the waiting process calls
+// Consume, and always re-checks its condition afterwards, so a concurrent
+// wake clobbered by the clear is never lost in effect.
+func (w *Waiter) Consume() {
+	w.word.Store(w.word.Load() &^ stateMask)
+}
+
+// wake delivers a wake to episode gen: CAS the state to Set only if the
+// word still carries that generation. Returns whether the wake was
+// delivered; a stale generation (the target episode was abandoned or
+// completed) or an already-set state means it was lost or collapsed —
+// deliberately, see the package comment.
+func (w *Waiter) wake(gen uint32) bool {
+	for {
+		cur := w.word.Load()
+		if genOf(cur) != gen || cur&stateMask == stateSet {
+			return false
+		}
+		if w.word.CompareAndSwap(cur, pack(gen, stateSet)) {
+			if cur&stateMask == stateParked {
+				select {
+				case w.ch <- struct{}{}:
+				default: // a stale token already fills the buffer; it substitutes
+				}
+			}
+			if st := w.stats.Load(); st != nil {
+				st.Wakes.Add(1)
+			}
+			return true
+		}
 	}
 }
 
-// Consume clears a delivered wake so the Waiter can be waited on again
-// (the tournament lock's consume-then-re-check discipline). Only the
-// waiting process calls Consume.
-func (w *Waiter) Consume() { w.state.Store(stateEmpty) }
-
-// Park blocks until a wake is delivered, sleeping on the Waiter's channel.
-// If the wake already arrived (or arrives while publishing the parked
-// state), Park returns immediately. On a Waiter created without a channel
-// it degrades to yielding.
+// Park blocks until a wake is delivered to the current episode, sleeping on
+// the Waiter's channel. A channel token is only a hint: tokens leaked by
+// wakers of dead episodes wake Park spuriously, so it re-checks the packed
+// word after every receive and re-parks until the wake is real. On a Waiter
+// whose strategy never created the channel it degrades to yielding.
 func (w *Waiter) Park() {
-	if w.park == nil {
+	if w.ch == nil {
 		for !w.Woken() {
 			runtime.Gosched()
 		}
 		return
 	}
-	if w.state.CompareAndSwap(stateEmpty, stateParked) {
-		if w.stats != nil {
-			w.stats.Parks.Add(1)
+	for {
+		cur := w.word.Load()
+		switch cur & stateMask {
+		case stateSet:
+			return
+		case stateEmpty:
+			if !w.word.CompareAndSwap(cur, cur&^stateMask|stateParked) {
+				continue
+			}
+			if st := w.stats.Load(); st != nil {
+				st.Parks.Add(1)
+			}
 		}
-		<-w.park
+		<-w.ch
 	}
 }
 
 // Cell is a publication slot: the shared word through which peers find the
-// current Waiter (the Signal object's GoAddr, the tournament lock's
-// GoAddr[p][l]). The zero Cell is empty and ready to use.
+// current wait episode (the Signal object's GoAddr, the tournament lock's
+// GoAddr[p][l]). It owns the one reusable Waiter every episode on this slot
+// runs on. The zero Cell is empty and ready to use.
 type Cell struct {
-	w atomic.Pointer[Waiter]
+	w Waiter
 }
 
-// Publish installs w as the Cell's current Waiter, replacing any abandoned
-// predecessor (whose pending wakes are thereby lost — deliberately).
-func (c *Cell) Publish(w *Waiter) { c.w.Store(w) }
+// Begin opens a fresh wait episode on the Cell's Waiter and returns it:
+// the replacement for allocating and publishing a fresh spin word. Any
+// pending wakes aimed at earlier episodes are thereby lost — deliberately.
+// The caller must re-check its wait condition after Begin and before
+// sleeping (Await does this for the single-shot case).
+func (c *Cell) Begin(st Strategy) *Waiter {
+	st.Attach(&c.w)
+	c.w.begin()
+	return &c.w
+}
 
-// Wake delivers a wake to the currently published Waiter, if any.
+// Wake delivers a wake to the episode currently open on the Cell, if any.
+// The generation is snapshotted once: if the episode is republished after
+// the snapshot, this wake is aimed at the abandoned episode and is lost.
 func (c *Cell) Wake() {
-	if w := c.w.Load(); w != nil {
-		w.Wake()
+	cur := c.w.word.Load()
+	if cur&stateMask == stateSet {
+		return // collapse duplicates without a CAS
 	}
+	c.w.wake(genOf(cur))
 }
 
-// Reset empties the Cell. Used when the memory holding the Cell is
-// recycled for a fresh protocol life.
-func (c *Cell) Reset() { c.w.Store(nil) }
+// Reset invalidates the Cell for a recycled protocol life (a pooled queue
+// node starting a fresh passage): in-flight wakes aimed at the old life
+// carry the old generation and die on their CAS.
+func (c *Cell) Reset() {
+	c.w.begin()
+}
 
-// Await publishes a fresh Waiter, re-checks cond, and sleeps until a wake
-// arrives — the single-shot wait of the Signal object (Figure 2 lines 5–9).
-// cond must become true before (in happens-before order) the corresponding
-// Cell.Wake, which is exactly the set-bit-then-wake discipline of signal
-// setters; Await re-checks it after publishing so a wake that raced ahead
-// of the publication is never missed.
+// Await opens an episode, re-checks cond, and sleeps until a wake arrives —
+// the single-shot wait of the Signal object (Figure 2 lines 5–9). cond must
+// become true before (in happens-before order) the corresponding Cell.Wake,
+// which is exactly the set-bit-then-wake discipline of signal setters;
+// Await re-checks it after stamping the generation so a wake that raced
+// ahead of the stamp is never missed.
 func (c *Cell) Await(st Strategy, cond func() bool) {
-	w := st.New()
-	c.Publish(w)
+	w := c.Begin(st)
 	if cond() {
 		return
 	}
@@ -147,11 +247,11 @@ func (c *Cell) Await(st Strategy, cond func() bool) {
 // Instrumented. Wakes is the RMR proxy on a CC machine: each wake is one
 // remote write to another process's spin word, and each sleep that it
 // terminates is the matching remote-read miss. Everything a strategy does
-// between publication and wake (Spins, Parks) is local by construction.
+// between Begin and wake (Spins, Parks) is local by construction.
 type Stats struct {
-	Publishes  atomic.Uint64 // Waiters created and published
+	Publishes  atomic.Uint64 // episodes opened (Cell.Begin calls)
 	Sleeps     atomic.Uint64 // sleeps that found the wake not yet delivered
-	Wakes      atomic.Uint64 // wake deliveries to a live Waiter
+	Wakes      atomic.Uint64 // wake deliveries to a live episode
 	Parks      atomic.Uint64 // sleeps that escalated to a channel park
 	SpinRounds atomic.Uint64 // backoff rounds spent spinning
 }
@@ -165,12 +265,17 @@ func (s *Stats) Reset() {
 	s.SpinRounds.Store(0)
 }
 
-// Strategy is how a waiting process passes the time between publishing its
-// Waiter and receiving a wake. Implementations must return from Sleep once
-// the Waiter is woken.
+// Strategy is how a waiting process passes the time between opening its
+// episode and receiving a wake. Implementations must return from Sleep once
+// the Waiter is woken. A given Cell is meant to be driven by one strategy
+// for its whole life (the lock stack fixes it at construction).
 type Strategy interface {
-	// New allocates a fresh Waiter suitable for this strategy's Sleep.
-	New() *Waiter
+	// Attach readies the Cell's reusable Waiter for one episode; it runs
+	// before the generation stamp makes the episode live. The parking
+	// strategy creates the reusable channel here (once); the instrumented
+	// wrapper binds its counters here. It must not allocate on the
+	// steady-state path.
+	Attach(w *Waiter)
 	// Sleep blocks until w has been woken (Woken reports true).
 	Sleep(w *Waiter)
 	// String names the strategy in benchmark output.
@@ -210,14 +315,14 @@ type yieldStrategy struct{}
 // behavior (a bare runtime.Gosched loop).
 func Yield() Strategy { return yieldStrategy{} }
 
-func (yieldStrategy) New() *Waiter { return NewWaiter(false) }
+func (yieldStrategy) Attach(*Waiter) {}
 
 func (yieldStrategy) Sleep(w *Waiter) {
 	if w.Woken() {
 		return
 	}
-	if w.stats != nil {
-		w.stats.Sleeps.Add(1)
+	if st := w.stats.Load(); st != nil {
+		st.Sleeps.Add(1)
 	}
 	for !w.Woken() {
 		runtime.Gosched()
@@ -234,14 +339,15 @@ type spinStrategy struct{}
 // GOMAXPROCS.
 func Spin() Strategy { return spinStrategy{} }
 
-func (spinStrategy) New() *Waiter { return NewWaiter(false) }
+func (spinStrategy) Attach(*Waiter) {}
 
 func (spinStrategy) Sleep(w *Waiter) {
 	if w.Woken() {
 		return
 	}
-	if w.stats != nil {
-		w.stats.Sleeps.Add(1)
+	st := w.stats.Load()
+	if st != nil {
+		st.Sleeps.Add(1)
 	}
 	pause := minPause
 	for round := 0; !w.Woken(); round++ {
@@ -252,8 +358,8 @@ func (spinStrategy) Sleep(w *Waiter) {
 		if round >= spinYieldAfter {
 			runtime.Gosched()
 		}
-		if w.stats != nil {
-			w.stats.SpinRounds.Add(1)
+		if st != nil {
+			st.SpinRounds.Add(1)
 		}
 	}
 }
@@ -266,7 +372,8 @@ type spinParkStrategy struct {
 
 // SpinThenPark returns the oversubscription-friendly strategy: spin with
 // backoff for the given number of rounds, then park on the Waiter's
-// channel until the wake arrives. rounds <= 0 selects a small default.
+// reusable channel until the wake arrives. rounds <= 0 selects a small
+// default.
 func SpinThenPark(rounds int) Strategy {
 	if rounds <= 0 {
 		rounds = 64
@@ -274,14 +381,22 @@ func SpinThenPark(rounds int) Strategy {
 	return spinParkStrategy{rounds: rounds}
 }
 
-func (s spinParkStrategy) New() *Waiter { return NewWaiter(true) }
+// Attach creates the slot's park channel on the first episode; every later
+// episode reuses it (the channel's happens-before hand-off rides the
+// generation stamp, see Waiter.begin).
+func (s spinParkStrategy) Attach(w *Waiter) {
+	if w.ch == nil {
+		w.ch = make(chan struct{}, 1)
+	}
+}
 
 func (s spinParkStrategy) Sleep(w *Waiter) {
 	if w.Woken() {
 		return
 	}
-	if w.stats != nil {
-		w.stats.Sleeps.Add(1)
+	st := w.stats.Load()
+	if st != nil {
+		st.Sleeps.Add(1)
 	}
 	pause := minPause
 	for round := 0; round < s.rounds; round++ {
@@ -292,8 +407,8 @@ func (s spinParkStrategy) Sleep(w *Waiter) {
 		if pause < maxPause {
 			pause <<= 1
 		}
-		if w.stats != nil {
-			w.stats.SpinRounds.Add(1)
+		if st != nil {
+			st.SpinRounds.Add(1)
 		}
 	}
 	w.Park()
@@ -306,17 +421,16 @@ type instrumented struct {
 	stats *Stats
 }
 
-// Instrumented wraps a strategy so every Waiter it creates records its
+// Instrumented wraps a strategy so every episode it drives records its
 // events into stats — the RMR-proxy counters reported by cmd/rmebench.
 func Instrumented(inner Strategy, stats *Stats) Strategy {
 	return instrumented{inner: inner, stats: stats}
 }
 
-func (s instrumented) New() *Waiter {
-	w := s.inner.New()
-	w.stats = s.stats
+func (s instrumented) Attach(w *Waiter) {
+	s.inner.Attach(w)
+	w.stats.Store(s.stats)
 	s.stats.Publishes.Add(1)
-	return w
 }
 
 func (s instrumented) Sleep(w *Waiter) { s.inner.Sleep(w) }

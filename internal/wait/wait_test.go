@@ -1,6 +1,7 @@
 package wait
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,14 +13,13 @@ func strategies() []Strategy {
 	return []Strategy{Yield(), Spin(), SpinThenPark(8)}
 }
 
-// TestWakeBeforeSleep: a wake that lands between publication and Sleep must
-// make Sleep return immediately (the re-check discipline).
+// TestWakeBeforeSleep: a wake that lands between Begin and Sleep must make
+// Sleep return immediately (the re-check discipline).
 func TestWakeBeforeSleep(t *testing.T) {
 	for _, st := range strategies() {
 		t.Run(st.String(), func(t *testing.T) {
 			var c Cell
-			w := st.New()
-			c.Publish(w)
+			w := c.Begin(st)
 			c.Wake()
 			done := make(chan struct{})
 			go func() {
@@ -40,8 +40,7 @@ func TestSleepThenWake(t *testing.T) {
 	for _, st := range strategies() {
 		t.Run(st.String(), func(t *testing.T) {
 			var c Cell
-			w := st.New()
-			c.Publish(w)
+			w := c.Begin(st)
 			done := make(chan struct{})
 			go func() {
 				st.Sleep(w)
@@ -62,47 +61,172 @@ func TestSleepThenWake(t *testing.T) {
 	}
 }
 
-// TestStaleWakeIsLost is the crash-safety argument of the whole engine
-// (signal.wait's fresh-boolean-per-wait property, Figure 2 line 5): a wake
-// aimed at an abandoned Waiter — published by a process that then crashed —
-// must be lost, never leaking into the re-executed wait's fresh Waiter.
+// TestStaleWakeIsLost is the crash-safety argument of the whole engine: a
+// wake whose generation snapshot predates a crash-and-re-execute must be
+// lost, never leaking into the re-executed wait's fresh episode — the
+// generation-stamped equivalent of the paper's fresh-spin-word-per-wait
+// property (Figure 2 line 5).
 func TestStaleWakeIsLost(t *testing.T) {
 	for _, st := range strategies() {
 		t.Run(st.String(), func(t *testing.T) {
 			var c Cell
-			abandoned := st.New()
-			c.Publish(abandoned) // the pre-crash publication
-			// The process "crashes" and re-executes its wait with a fresh
-			// Waiter; a setter that loaded the old publication before the
-			// crash now delivers its wake to the abandoned Waiter.
-			fresh := st.New()
-			c.Publish(fresh)
-			abandoned.Wake() // the stale wake
-			if fresh.Woken() {
-				t.Fatal("stale wake leaked into the fresh Waiter")
+			c.Begin(st) // the pre-crash episode
+			staleGen := c.w.gen()
+			// The process "crashes" and re-executes its wait, which stamps a
+			// fresh generation; a waker that snapshotted the word before the
+			// crash now delivers its wake against the old generation.
+			w := c.Begin(st)
+			if c.w.wake(staleGen) {
+				t.Fatal("stale wake reported as delivered")
+			}
+			if w.Woken() {
+				t.Fatal("stale wake leaked into the fresh episode")
 			}
 			done := make(chan struct{})
 			go func() {
-				st.Sleep(fresh)
+				st.Sleep(w)
 				close(done)
 			}()
 			select {
 			case <-done:
-				t.Fatal("fresh Waiter's Sleep released by a stale wake")
+				t.Fatal("fresh episode's Sleep released by a stale wake")
 			case <-time.After(20 * time.Millisecond):
 			}
-			c.Wake() // a wake through the Cell reaches the live Waiter
+			c.Wake() // a wake snapshotting the live generation is delivered
 			select {
 			case <-done:
 			case <-time.After(2 * time.Second):
-				t.Fatal("live Waiter never woken through the Cell")
+				t.Fatal("live episode never woken through the Cell")
+			}
+		})
+	}
+}
+
+// TestGenerationWraparound starts the generation counter at the top of its
+// 32-bit range: stamping across the wrap must keep stale wakes lost and
+// live wakes delivered (only equality is ever compared).
+func TestGenerationWraparound(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			c.w.word.Store(pack(math.MaxUint32-1, stateEmpty))
+			c.Begin(st)
+			if g := c.w.gen(); g != math.MaxUint32 {
+				t.Fatalf("gen = %d, want MaxUint32", g)
+			}
+			preWrap := c.w.gen()
+			w := c.Begin(st) // wraps to 0
+			if g := c.w.gen(); g != 0 {
+				t.Fatalf("gen after wrap = %d, want 0", g)
+			}
+			if c.w.wake(preWrap) {
+				t.Fatal("pre-wrap stale wake delivered across the wrap")
+			}
+			if w.Woken() {
+				t.Fatal("pre-wrap stale wake leaked across the wrap")
+			}
+			c.Wake()
+			if !w.Woken() {
+				t.Fatal("live wake not delivered in generation 0")
+			}
+			w.Consume()
+			// One more full episode on the wrapped counter.
+			w = c.Begin(st)
+			done := make(chan struct{})
+			go func() {
+				st.Sleep(w)
+				close(done)
+			}()
+			time.Sleep(2 * time.Millisecond)
+			c.Wake()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("post-wrap episode never woken")
+			}
+		})
+	}
+}
+
+// TestRepublishWakeStorm hammers Begin against concurrent Cell.Wake calls
+// (run with -race): the crash-storm shape, where a slot is abandoned and
+// re-stamped over and over while a peer keeps delivering wakes. Every
+// episode that actually sleeps must be released, and the engine must not
+// allocate fresh state to survive it.
+func TestRepublishWakeStorm(t *testing.T) {
+	for _, st := range []Strategy{Yield(), SpinThenPark(1)} {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			var cond atomic.Int64
+			const iters = 3000
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // the crashing-and-recovering waiter
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					w := c.Begin(st)
+					if i%3 == 0 {
+						continue // "crash": abandon the episode unslept
+					}
+					for cond.Load() < int64(i) {
+						st.Sleep(w)
+						w.Consume()
+					}
+				}
+				close(stop)
+			}()
+			go func() { // the waker
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					cond.Add(1)
+					c.Wake()
+					if i%64 == 0 {
+						runtime.Gosched()
+					}
+				}
+			}()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("republish/wake storm hung (lost wakeup)")
+			}
+		})
+	}
+}
+
+// TestZeroAllocEpisodes pins the tentpole claim at the engine level: after
+// the first episode (which may create the park channel), a full
+// Begin/Wake/Sleep/Consume cycle allocates nothing under any strategy.
+func TestZeroAllocEpisodes(t *testing.T) {
+	for _, st := range strategies() {
+		t.Run(st.String(), func(t *testing.T) {
+			var c Cell
+			w := c.Begin(st) // first episode pays the lazy channel, if any
+			c.Wake()
+			st.Sleep(w)
+			avg := testing.AllocsPerRun(200, func() {
+				w := c.Begin(st)
+				c.Wake()
+				st.Sleep(w)
+				w.Consume()
+			})
+			if avg != 0 {
+				t.Fatalf("allocs per episode = %v, want 0", avg)
 			}
 		})
 	}
 }
 
 // TestConsumeAndRecheck drives the tournament lock's wait loop shape: each
-// wake is consumed, the condition re-checked, and the same Waiter slept on
+// wake is consumed, the condition re-checked, and the same episode slept on
 // again. Spurious wakes (delivered before the condition holds) must neither
 // be missed nor double-counted.
 func TestConsumeAndRecheck(t *testing.T) {
@@ -111,8 +235,7 @@ func TestConsumeAndRecheck(t *testing.T) {
 			var c Cell
 			var cond atomic.Int32
 			const rounds = 5
-			w := st.New()
-			c.Publish(w)
+			w := c.Begin(st)
 			done := make(chan int)
 			go func() {
 				wakes := 0
@@ -138,7 +261,9 @@ func TestConsumeAndRecheck(t *testing.T) {
 }
 
 // TestParkWakeRace hammers the park/wake transition with minimal spin so
-// the CAS-to-parked path races real wakes (run with -race).
+// the CAS-to-parked path races real wakes (run with -race). The episodes
+// all reuse one Waiter and one channel — the reuse the generation stamp
+// makes safe.
 func TestParkWakeRace(t *testing.T) {
 	st := SpinThenPark(1)
 	var c Cell
@@ -149,8 +274,7 @@ func TestParkWakeRace(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			w := st.New()
-			c.Publish(w)
+			w := c.Begin(st)
 			for turn.Load() <= int32(i) {
 				st.Sleep(w)
 				w.Consume()
@@ -176,13 +300,12 @@ func TestParkWakeRace(t *testing.T) {
 	}
 }
 
-// TestDoubleWakeCollapses: extra wakes on the same Waiter collapse into one
-// and never corrupt a later park episode's token accounting.
+// TestDoubleWakeCollapses: extra wakes on the same episode collapse into
+// one and never corrupt a later park episode's token accounting.
 func TestDoubleWakeCollapses(t *testing.T) {
 	st := SpinThenPark(1)
-	w := st.New()
 	var c Cell
-	c.Publish(w)
+	w := c.Begin(st)
 	c.Wake()
 	c.Wake()
 	st.Sleep(w) // returns immediately
@@ -202,6 +325,43 @@ func TestDoubleWakeCollapses(t *testing.T) {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("waiter never released")
+	}
+}
+
+// TestStaleParkTokenIsAbsorbed forces the one token-leak window reuse
+// opens: a waker commits its parked→set CAS, the episode dies before the
+// token is consumed, and a later episode of the same slot parks. The stale
+// token must wake that park only spuriously — Park re-checks and re-parks —
+// and the real wake must still get through.
+func TestStaleParkTokenIsAbsorbed(t *testing.T) {
+	st := SpinThenPark(1)
+	var c Cell
+	w := c.Begin(st)
+	// Park the first episode and wake it, leaving its token consumed; then
+	// plant a stale token directly, modeling a waker that stalled between
+	// its CAS and its send until after the next Begin's drain.
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		c.Wake()
+	}()
+	st.Sleep(w)
+	w = c.Begin(st)
+	c.w.ch <- struct{}{} // the stale token lands after the drain
+	done := make(chan struct{})
+	go func() {
+		st.Sleep(w) // spurious token must not release this sleep
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stale park token released a live sleep")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Wake()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real wake lost after a stale token")
 	}
 }
 
@@ -274,8 +434,7 @@ func TestOversubscribedHandoff(t *testing.T) {
 	var sum atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		w := st.New()
-		cells[i].Publish(w)
+		w := cells[i].Begin(st)
 		wg.Add(1)
 		go func(i int, w *Waiter) {
 			defer wg.Done()

@@ -69,8 +69,9 @@ func TestSignalReExecutedWaitAfterAbandonment(t *testing.T) {
 			var s signal
 			abandoned := make(chan struct{})
 			go func() {
-				// Simulate the pre-crash prefix of wait(): publish, then die.
-				s.cell.Publish(st.New())
+				// Simulate the pre-crash prefix of wait(): open the
+				// episode, then die without sleeping.
+				s.cell.Begin(st)
 				close(abandoned)
 			}()
 			<-abandoned
@@ -208,6 +209,9 @@ func TestPaddedLayout(t *testing.T) {
 	if s := unsafe.Sizeof(paddedInt32{}); s%cacheLineSize != 0 {
 		t.Errorf("paddedInt32 size %d not a multiple of %d", s, cacheLineSize)
 	}
+	if s := unsafe.Sizeof(paddedInt64{}); s%cacheLineSize != 0 {
+		t.Errorf("paddedInt64 size %d not a multiple of %d", s, cacheLineSize)
+	}
 	if s := unsafe.Sizeof(paddedQnodePtr{}); s%cacheLineSize != 0 {
 		t.Errorf("paddedQnodePtr size %d not a multiple of %d", s, cacheLineSize)
 	}
@@ -216,5 +220,55 @@ func TestPaddedLayout(t *testing.T) {
 	}
 	if s := unsafe.Sizeof(portFree{}); s%cacheLineSize != 0 {
 		t.Errorf("portFree size %d not a multiple of %d", s, cacheLineSize)
+	}
+}
+
+// TestTreeLayout pins TreeMutex's memory layout: the per-process phase
+// words must occupy one full padded cache line each (so neighboring
+// processes' passage bookkeeping cannot false-share), and the per-process
+// path table rows must exist for every (proc, level).
+func TestTreeLayout(t *testing.T) {
+	tm := NewTree(9)
+	if s := unsafe.Sizeof(tm.phase[0]); s%cacheLineSize != 0 {
+		t.Errorf("phase element size %d not a multiple of %d", s, cacheLineSize)
+	}
+	// The stride between adjacent phase words is the padded element size:
+	// no two processes' phase words may share a line pair.
+	stride := uintptr(unsafe.Pointer(&tm.phase[1])) - uintptr(unsafe.Pointer(&tm.phase[0]))
+	if stride != unsafe.Sizeof(paddedInt64{}) {
+		t.Errorf("phase stride %d, want %d", stride, unsafe.Sizeof(paddedInt64{}))
+	}
+	if stride < cacheLineSize {
+		t.Errorf("phase stride %d below cache line %d", stride, cacheLineSize)
+	}
+	if len(tm.path) != tm.n {
+		t.Fatalf("path table has %d rows, want %d", len(tm.path), tm.n)
+	}
+	for p, row := range tm.path {
+		if len(row) != tm.levels {
+			t.Fatalf("path[%d] has %d steps, want %d", p, len(row), tm.levels)
+		}
+	}
+}
+
+// TestTreePathTable cross-checks the precomputed path table against the
+// position arithmetic it replaced: node index proc/arity^(l+1), port
+// (proc/arity^l) mod arity.
+func TestTreePathTable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 9, 16, 64, 100} {
+		tm := NewTree(n)
+		for p := 0; p < n; p++ {
+			div := 1
+			for l := 0; l < tm.levels; l++ {
+				wantNode := tm.nodes[l][p/(div*tm.arity)]
+				wantPort := (p / div) % tm.arity
+				got := tm.path[p][l]
+				if got.m != wantNode || got.port != wantPort {
+					t.Fatalf("n=%d path[%d][%d] = (%p,%d), want (%p,%d)",
+						n, p, l, got.m, got.port, wantNode, wantPort)
+				}
+				div *= tm.arity
+			}
+		}
 	}
 }

@@ -9,9 +9,12 @@ import (
 )
 
 // qnode is a queue node (the paper's QNode): one per passage, holding the
-// predecessor pointer and the two hand-off signals. With pooling enabled a
-// node is recycled for a later passage of the same port once its successor
-// has consumed cs (see consumed).
+// predecessor pointer and the two hand-off signals. Each signal's cell owns
+// a reusable generation-stamped spin word (internal/wait), so waiting on a
+// node never allocates. With pooling enabled the node itself is recycled
+// for a later passage of the same port once its successor has consumed cs
+// (see consumed), making the whole crash-free passage — contended or not —
+// allocation-free.
 type qnode struct {
 	pred   atomic.Pointer[qnode]
 	nonNil signal // set once pred is non-nil (used by repairs)

@@ -3,12 +3,21 @@ package rme
 import "github.com/rmelib/rme/internal/wait"
 
 // WaitStrategy selects how a waiter in the lock stack passes the time
-// between publishing its spin word and being woken: every busy-wait in the
+// between opening its wait episode and being woken: every busy-wait in the
 // runtime port — the Signal object's wait, the repair lock's tournament
 // entry — goes through the same internal/wait engine, and the strategy is
-// its tuning knob. Construct one with YieldWaitStrategy, SpinWaitStrategy,
-// or SpinParkWaitStrategy.
+// its tuning knob. The engine's spin words are generation-stamped and
+// reusable, so no strategy allocates on the steady-state blocking path.
+// Construct one with YieldWaitStrategy, SpinWaitStrategy, or
+// SpinParkWaitStrategy.
 type WaitStrategy = wait.Strategy
+
+// WaitStats is the wait engine's event-counter block (publishes, sleeps,
+// wakes, parks, spin rounds). Wakes is the RMR proxy on a CC machine: each
+// wake is one remote write to another process's spin word. TreeMutex hands
+// out one per level via LevelStats when built with
+// WithTreeInstrumentation.
+type WaitStats = wait.Stats
 
 // YieldWaitStrategy probes the spin word and yields to the Go scheduler
 // between probes. This is the default: it behaves reasonably at any ratio
@@ -33,8 +42,9 @@ func SpinParkWaitStrategy(spinRounds int) WaitStrategy { return wait.SpinThenPar
 type Option func(*config)
 
 type config struct {
-	strat wait.Strategy
-	pool  bool
+	strat     wait.Strategy
+	pool      bool
+	treeStats bool
 }
 
 func buildConfig(opts []Option) config {
@@ -63,4 +73,15 @@ func WithWaitStrategy(s WaitStrategy) Option {
 // the garbage collector, so crash recovery is unaffected.
 func WithNodePool(enabled bool) Option {
 	return func(c *config) { c.pool = enabled }
+}
+
+// WithTreeInstrumentation makes NewTree attach a WaitStats counter block
+// to every tree level (retrievable with TreeMutex.LevelStats), so the
+// hand-off cost of each level of the arbitration tree — the per-level RMR
+// proxy — can be reported, as cmd/rmebench's tree scenario does. It costs
+// a few atomic increments per wait event and is therefore off by default;
+// New ignores it (the flat lock's single level is instrumented by wrapping
+// the strategy with wait.Instrumented instead).
+func WithTreeInstrumentation(enabled bool) Option {
+	return func(c *config) { c.treeStats = enabled }
 }

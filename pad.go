@@ -22,6 +22,14 @@ type paddedInt32 struct {
 	_ [cacheLineSize - unsafe.Sizeof(atomic.Int32{})%cacheLineSize]byte
 }
 
+// paddedInt64 is an atomic.Int64 alone on its cache line(s). Used for the
+// tree's per-process phase words, which each process writes on every
+// passage while its neighbors do the same.
+type paddedInt64 struct {
+	atomic.Int64
+	_ [cacheLineSize - unsafe.Sizeof(atomic.Int64{})%cacheLineSize]byte
+}
+
 // paddedQnodePtr is an atomic.Pointer[qnode] alone on its cache line(s).
 // Used for the port table Node[p], which every repair scans while owners
 // store to their own slot.

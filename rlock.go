@@ -23,7 +23,8 @@ type rlock struct {
 	levels int
 	// nodes[l][g]: tournament node g at level l.
 	nodes [][]rlockNode
-	// spinPub[p][l]: port p's publication cell for its level-l spin word.
+	// spinPub[p][l]: port p's publication cell at level l, owning the
+	// reusable generation-stamped spin word for that (port, level) slot.
 	spinPub [][]wait.Cell
 	// stage[p]: per-port recovery stage, one cache line each.
 	stage []paddedInt32
@@ -104,8 +105,15 @@ func (l *rlock) unlock(m *Mutex, port int) {
 // entry wins one tournament node: Peterson with a published local spin
 // word, an entry wake for possibly-stale rivals, and a re-check after every
 // wake (which is what makes blind re-execution after a crash safe — a
-// crash abandons the published word, and wait.Cell loses stale wakes
-// aimed at it).
+// crash abandons the published episode, whose stale generation makes
+// wait.Cell lose wakes aimed at it).
+//
+// The episode is opened lazily, only once the first Peterson check loses:
+// the uncontended path (no rival flag, or the rival must yield) touches
+// nothing but the tournament node. A wake the rival issued before our
+// Begin is lost with the old generation, but any such wake's cause — the
+// rival's flag clear or turn hand-over — precedes the Begin too, so the
+// mandatory post-Begin re-check observes it before we ever sleep.
 func (l *rlock) entry(m *Mutex, port, lvl int) {
 	n := l.node(port, lvl)
 	s := side(port, lvl)
@@ -113,9 +121,7 @@ func (l *rlock) entry(m *Mutex, port, lvl int) {
 	n.flag[s].Store(int32(port + 1))
 	m.cp(port, "R.e1")
 	n.turn.Store(int32(1 - s))
-	w := l.strat.New()
-	m.cp(port, "R.e2")
-	l.spinPub[port][lvl].Publish(w)
+	var w *wait.Waiter
 	for {
 		m.cp(port, "R.e3")
 		r := n.flag[1-s].Load()
@@ -124,6 +130,14 @@ func (l *rlock) entry(m *Mutex, port, lvl int) {
 		}
 		if n.turn.Load() != int32(1-s) {
 			return
+		}
+		if w == nil {
+			// First lost check: open the episode, then loop to re-check
+			// before sleeping so a rival state change that raced ahead of
+			// the Begin is never a lost wake.
+			m.cp(port, "R.e2")
+			w = l.spinPub[port][lvl].Begin(l.strat)
+			continue
 		}
 		// About to wait: the rival has priority; wake it in case it was
 		// left spinning by an earlier crash of ours (it re-checks, so a

@@ -13,8 +13,9 @@ import (
 // cache line most of the time.
 //
 // All waiting is delegated to the internal/wait engine: the signal holds
-// only the persistent bit and the publication Cell (Figure 2's GoAddr);
-// how the waiter passes the time is the mutex's wait.Strategy.
+// the persistent bit and the publication Cell (Figure 2's GoAddr), which
+// owns the reusable generation-stamped spin word every wait on this signal
+// runs on; how the waiter passes the time is the mutex's wait.Strategy.
 //
 // The algorithm guarantees no two wait executions are ever concurrent on
 // the same signal (a node's CS_Signal is awaited only by its unique
@@ -35,12 +36,14 @@ func (s *signal) set() {
 	s.cell.Wake()
 }
 
-// wait returns once the signal's state is 1 (Figure 2 lines 5–9). A fresh
-// spin word is published per blocking call — exactly the paper's line 5 —
-// which is also what makes re-execution after a crash safe: a stale wake
-// directed at an abandoned word is simply lost (wait.Cell's contract). An
-// already-set signal returns before publishing anything, keeping the
-// crash-free fast path allocation-free.
+// wait returns once the signal's state is 1 (Figure 2 lines 5–9). Each
+// blocking call opens a fresh generation-stamped episode on the cell's
+// reusable waiter — the zero-allocation equivalent of the paper's
+// fresh-spin-word-per-wait (line 5), and what makes re-execution after a
+// crash safe: a stale wake directed at an abandoned episode carries the
+// old generation and is simply lost (see internal/wait's package comment
+// for the equivalence argument). An already-set signal returns before
+// opening an episode, so neither path allocates.
 func (s *signal) wait(st wait.Strategy) {
 	if s.bit.Load() {
 		return
@@ -54,8 +57,10 @@ func (s *signal) isSet() bool { return s.bit.Load() }
 // forceSet initializes a pre-set signal (the SpecialNode's).
 func (s *signal) forceSet() { s.bit.Store(true) }
 
-// reset returns the signal to its zero state for a recycled qnode life.
-// Only called while the enclosing node is unreachable from the protocol.
+// reset returns the signal to a fresh state for a recycled qnode life:
+// the bit is cleared and the cell's generation bumped, so in-flight wakes
+// aimed at the previous life die on their CAS. Only called while the
+// enclosing node is unreachable from the protocol.
 func (s *signal) reset() {
 	s.bit.Store(false)
 	s.cell.Reset()

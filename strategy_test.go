@@ -248,6 +248,53 @@ func TestFastPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestContendedZeroAllocs is the tentpole acceptance check: with the node
+// pool warm, the contended crash-free hand-off path allocates nothing
+// under any strategy — the queue node is recycled, the blocking wait runs
+// on the cell's reusable generation-stamped waiter, and the park channel
+// (spinpark) was created once during warm-up. Worker-goroutine spawns are
+// the only allocations left and amortize far below the threshold.
+func TestContendedZeroAllocs(t *testing.T) {
+	for _, s := range allStrategies() {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			ports := 2
+			iters := 1500
+			if s.name != "spin" && runtime.GOMAXPROCS(0) > 1 {
+				ports = 4
+			}
+			m := rme.New(ports, rme.WithWaitStrategy(s.st), rme.WithNodePool(true))
+			run := func(total int) {
+				var wg sync.WaitGroup
+				per := total / ports
+				for w := 0; w < ports; w++ {
+					wg.Add(1)
+					go func(port int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							m.Lock(port)
+							runtime.Gosched() // CS work: force real blocking
+							m.Unlock(port)
+							runtime.Gosched()
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			run(16 * ports) // warm pools and park channels
+			runtime.GC()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			run(iters)
+			runtime.ReadMemStats(&ms1)
+			perOp := float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+			if perOp > 0.05 {
+				t.Fatalf("contended allocs/op = %.4f, want ~0", perOp)
+			}
+		})
+	}
+}
+
 // TestPoolRefusesReuseDuringRepair pins the recycling fence: while a
 // repair is mid-flight (between its port-table scan and its decision), a
 // retired node must not be handed out again. The crash hook parks a

@@ -3,7 +3,8 @@ package rme
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
+
+	"github.com/rmelib/rme/internal/wait"
 )
 
 // TreeMutex is the runtime port of the paper's Section 3.3 construction:
@@ -23,12 +24,33 @@ import (
 // version this is ported from, including why the release cursor is
 // necessary (a released node's port may already be claimed by a sibling,
 // so the replay must never touch levels above the cursor).
+//
+// The hot path is arithmetic-free: each process's (node, port) pair per
+// level is precomputed at construction into a per-process path table, and
+// the per-process phase words are padded to cache lines so neighboring
+// processes' passage bookkeeping never ping-pongs a line.
 type TreeMutex struct {
 	n      int
 	arity  int
 	levels int
 	nodes  [][]*Mutex
-	phase  []atomic.Int64
+	// path[proc][l] is the precomputed (node, port) of proc at level l —
+	// the paper's position arithmetic (a division loop per level per
+	// acquisition) hoisted to NewTree. Read-only after construction.
+	path [][]treeStep
+	// phase[proc] is the stable recovery word, one cache line each: every
+	// passage writes it twice (tphUp, tphCS) plus once per level on
+	// release, which false-shared eight-up before padding.
+	phase []paddedInt64
+	// levelStats[l] counts wait-engine events inside level l's mutexes;
+	// nil unless WithTreeInstrumentation was given.
+	levelStats []*wait.Stats
+}
+
+// treeStep is one precomputed hop of a process's leaf-to-root path.
+type treeStep struct {
+	m    *Mutex
+	port int
 }
 
 // Phase values for TreeMutex's per-process phase word; the release cursor
@@ -65,24 +87,45 @@ func TreeArity(n int) int {
 }
 
 // NewTree creates an n-process arbitration-tree mutex with the paper's
-// default node degree. Options (wait strategy, node pooling) are threaded
-// through to every tree node's Mutex.
+// default node degree. Options (wait strategy, node pooling, per-level
+// instrumentation) are threaded through to every tree node's Mutex.
 func NewTree(n int, opts ...Option) *TreeMutex {
 	if n <= 0 {
 		panic("rme: NewTree needs at least one process")
 	}
+	cfg := buildConfig(opts)
 	t := &TreeMutex{n: n, arity: TreeArity(n)}
 	groups := n
 	for groups > 1 {
 		groups = (groups + t.arity - 1) / t.arity
+		// Pass the caller's options through so future Options reach the
+		// node mutexes too; the per-level instrumented strategy is
+		// appended last and therefore wins over the caller's.
+		nodeOpts := opts
+		if cfg.treeStats {
+			ls := &wait.Stats{}
+			t.levelStats = append(t.levelStats, ls)
+			nodeOpts = append(append([]Option{}, opts...),
+				WithWaitStrategy(wait.Instrumented(cfg.strat, ls)))
+		}
 		level := make([]*Mutex, groups)
 		for g := range level {
-			level[g] = New(t.arity, opts...)
+			level[g] = New(t.arity, nodeOpts...)
 		}
 		t.nodes = append(t.nodes, level)
 		t.levels++
 	}
-	t.phase = make([]atomic.Int64, n)
+	t.phase = make([]paddedInt64, n)
+	t.path = make([][]treeStep, n)
+	for p := 0; p < n; p++ {
+		steps := make([]treeStep, t.levels)
+		div := 1
+		for l := 0; l < t.levels; l++ {
+			steps[l] = treeStep{m: t.nodes[l][p/(div*t.arity)], port: (p / div) % t.arity}
+			div *= t.arity
+		}
+		t.path[p] = steps
+	}
 	return t
 }
 
@@ -91,6 +134,13 @@ func (t *TreeMutex) Procs() int { return t.n }
 
 // Levels returns the tree height.
 func (t *TreeMutex) Levels() int { return t.levels }
+
+// LevelStats returns the per-level wait-engine counters (index 0 is the
+// leaf level), or nil unless the tree was built with
+// WithTreeInstrumentation. Wakes per level is the RMR proxy for the
+// tree's hand-off cost: the paper's bound says the sum over the path is
+// O(log n / log log n) per crash-free super-passage.
+func (t *TreeMutex) LevelStats() []*WaitStats { return t.levelStats }
 
 // SetCrashFunc installs the crash-injection hook on every tree node. The
 // hook's port argument is the node-local port (child index); points keep
@@ -107,15 +157,6 @@ func (t *TreeMutex) checkProc(proc int) {
 	if proc < 0 || proc >= t.n {
 		panic(fmt.Sprintf("rme: process %d out of range [0,%d)", proc, t.n))
 	}
-}
-
-// position returns the (node, port) of proc at level l.
-func (t *TreeMutex) position(proc, l int) (m *Mutex, port int) {
-	div := 1
-	for j := 0; j < l; j++ {
-		div *= t.arity
-	}
-	return t.nodes[l][proc/(div*t.arity)], (proc / div) % t.arity
 }
 
 // Held reports whether proc currently owns the outer critical section.
@@ -136,9 +177,8 @@ func (t *TreeMutex) Lock(proc int) {
 		t.replayRelease(proc, int(word>>tphShift))
 	}
 	t.phase[proc].Store(tphUp)
-	for l := 0; l < t.levels; l++ {
-		m, port := t.position(proc, l)
-		m.Lock(port)
+	for _, s := range t.path[proc] {
+		s.m.Lock(s.port)
 	}
 	t.phase[proc].Store(tphCS)
 }
@@ -158,9 +198,9 @@ func (t *TreeMutex) Unlock(proc int) {
 // replayRelease releases levels cursor..0 (top-down) with the idempotent
 // per-node exit recovery, advancing the stable cursor between levels.
 func (t *TreeMutex) replayRelease(proc, cursor int) {
+	path := t.path[proc]
 	for l := cursor; l >= 0; l-- {
-		m, port := t.position(proc, l)
-		m.exitRecover(port)
+		path[l].m.exitRecover(path[l].port)
 		if l > 0 {
 			t.phase[proc].Store(encodeTreeDown(l - 1))
 		}

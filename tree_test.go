@@ -2,6 +2,7 @@ package rme_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -179,6 +180,41 @@ func TestTreePanicsOnMisuse(t *testing.T) {
 			}()
 			tt.fn()
 		})
+	}
+}
+
+// TestTreeLevelStats drives an instrumented tree under contention and
+// checks the per-level RMR-proxy counters: one stats block per level, and
+// a contended run must record hand-off wakes at the leaf level.
+func TestTreeLevelStats(t *testing.T) {
+	const n, iters = 8, 50
+	m := rme.NewTree(n, rme.WithTreeInstrumentation(true), rme.WithNodePool(true))
+	ls := m.LevelStats()
+	if len(ls) != m.Levels() {
+		t.Fatalf("LevelStats len = %d, want %d levels", len(ls), m.Levels())
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock(proc)
+				runtime.Gosched() // keep the CS across a scheduler boundary
+				m.Unlock(proc)
+			}
+		}(p)
+	}
+	wg.Wait()
+	var publishes uint64
+	for _, s := range ls {
+		publishes += s.Publishes.Load()
+	}
+	if publishes == 0 {
+		t.Fatal("contended instrumented run recorded no wait episodes")
+	}
+	if rme.NewTree(4).LevelStats() != nil {
+		t.Fatal("LevelStats non-nil without WithTreeInstrumentation")
 	}
 }
 
