@@ -19,6 +19,7 @@ import (
 	"github.com/rmelib/rme/internal/mcs"
 	"github.com/rmelib/rme/internal/memsim"
 	"github.com/rmelib/rme/internal/rlock"
+	"github.com/rmelib/rme/internal/rtbench"
 	"github.com/rmelib/rme/internal/sched"
 	"github.com/rmelib/rme/internal/sigobj"
 	"github.com/rmelib/rme/internal/tree"
@@ -387,10 +388,7 @@ func BenchmarkE12RuntimeThroughput(b *testing.B) {
 		m := rme.New(4)
 		var calls atomic.Uint64
 		m.SetCrashFunc(func(port int, point string) bool {
-			c := calls.Add(1)
-			z := c + 0x9e3779b97f4a7c15
-			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-			return z%4096 == 0
+			return xrand.Mix64(calls.Add(1))%4096 == 0
 		})
 		lock := func(port int) {
 			for {
@@ -531,6 +529,29 @@ func BenchmarkE14Oversubscribed(b *testing.B) {
 				}(w)
 			}
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkE16KeyedTable measures the keyed lock service: 16 worker
+// goroutines locking uniform or zipf-distributed keys striped over a
+// 32×4 arena — the many-resources workload class the flat benchmarks
+// cannot express. It drives rtbench's exported keyed workload driver, so
+// it measures the exact passage shape the BENCH_keyed.json gate records.
+// Crash-free with the node pool on, a keyed passage (lease acquisition,
+// hashing, recoverable lock, release) allocates nothing.
+func BenchmarkE16KeyedTable(b *testing.B) {
+	const workers = 16
+	for _, zipf := range []bool{false, true} {
+		name := "uniform"
+		if zipf {
+			name = "zipf"
+		}
+		b.Run(name, func(b *testing.B) {
+			tbl := rme.NewLockTable(32, 4, rme.WithNodePool(true), rme.WithTableSeed(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			rtbench.RunKeyedPassages(tbl, workers, b.N, zipf, 1<<20, false)
 		})
 	}
 }

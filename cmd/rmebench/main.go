@@ -32,7 +32,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed)")
+		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash)")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
 		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
@@ -302,16 +302,20 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("which writes `BENCH_<scenario>.json` per workload shape")
 	fmt.Println("(uncontended, contended8, oversubscribed for the flat lock;")
 	fmt.Println("BENCH_tree.json for the arbitration tree, contended and")
-	fmt.Println("oversubscribed, with per-level wake counters) across the")
-	fmt.Println("wait-strategy × node-pool matrix. With the generation-stamped wait")
-	fmt.Println("engine and the node pool on, every crash-free passage — contended")
-	fmt.Println("or not, under any strategy — is allocation-free, and")
+	fmt.Println("oversubscribed, with per-level wake counters; BENCH_keyed.json")
+	fmt.Println("for the keyed LockTable under uniform and zipf key traffic, plus")
+	fmt.Println("BENCH_keyed_crash.json for the same table under a deterministic")
+	fmt.Println("crash mix, kept out of the allocation gate because recovery")
+	fmt.Println("allocations are schedule-dependent) across the wait-strategy ×")
+	fmt.Println("node-pool matrix. With the generation-stamped wait engine and the")
+	fmt.Println("node pool on, every crash-free passage — flat, tree, or keyed,")
+	fmt.Println("contended or not, under any strategy — is allocation-free, and")
 	fmt.Println()
 	fmt.Println("    go run ./cmd/rmebench -compare BENCH_<scenario>.json")
 	fmt.Println()
 	fmt.Println("re-runs the recorded scenarios and exits non-zero if allocs/op")
 	fmt.Println("rose at all or ns/op rose past the -tol threshold on a comparable")
 	fmt.Println("host (CI runs this as a smoke gate). `go test -bench . -benchmem`")
-	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E15).")
+	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E16).")
 	return failed
 }

@@ -61,6 +61,38 @@
 // allocation. With the node pool on, every crash-free passage — contended
 // or uncontended, under any strategy — therefore allocates nothing.
 //
+// # Keyed locking at scale
+//
+// The port model serves a fixed cast of identities; real services lock
+// millions of named resources from whatever goroutine happens to carry the
+// request. Two layers bridge the gap:
+//
+//   - PortLeaser lets arbitrary workers borrow port identities per
+//     passage. Each port has an epoch-stamped ownership word: acquisition
+//     CASes it free→held with a fresh epoch, so a stale lease cannot
+//     revoke a later lessee's port, and a worker that dies mid-protocol
+//     leaves the word orphaned (the OrphanOnCrash guard marks it as the
+//     Crash panic unwinds). ReclaimOrphans recovers orphaned ports —
+//     running the recovery Lock on each, concurrently, since orphans can
+//     be queued behind each other's dead nodes — and returns them to the
+//     pool.
+//   - LockTable is the keyed lock service built from both: string or
+//     uint64 keys hash onto shards, each shard one k-ported Mutex plus a
+//     lease pool, so an unbounded keyspace shares O(shards·ports) of
+//     permanent lock state. Mutual exclusion is per key via striping
+//     (same-stripe keys contend, which is coarser but never unsound);
+//     Lock/Unlock/Held take the key, Reclaim sweeps crashed tenancies
+//     (ReclaimWith reports each dead tenancy's key and whether it held
+//     the critical section, the hook for application-level redo/undo).
+//     Crash-free keyed passages allocate nothing once the node pools are
+//     warm.
+//
+// An orphaned tenancy still owns its protocol state — it can hold its
+// stripe's critical section or stall the queue behind it — so supervisors
+// should sweep promptly after observing a death, exactly as RME's
+// progress guarantees assume crashed processes restart. See
+// examples/locktable for the full pattern under a crash storm.
+//
 // # Crash injection
 //
 // Real deployments get crashes from the outside world; tests need them on

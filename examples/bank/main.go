@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 const (
@@ -139,10 +140,7 @@ func main() {
 
 	var calls, crashCount atomic.Uint64
 	l.m.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		if z%601 == 0 {
+		if xrand.Mix64(calls.Add(1))%601 == 0 {
 			crashCount.Add(1)
 			return true
 		}

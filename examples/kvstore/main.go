@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 // intent is a redo record, written before the store mutation so a
@@ -103,10 +104,7 @@ func main() {
 	// Random crash injection across every protocol step.
 	var calls atomic.Uint64
 	s.m.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		return z%701 == 0
+		return xrand.Mix64(calls.Add(1))%701 == 0
 	})
 
 	var wg sync.WaitGroup

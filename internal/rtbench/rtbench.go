@@ -4,11 +4,15 @@
 // the results to BENCH_<scenario>.json files so successive changes leave a
 // comparable performance trajectory in the repository.
 //
-// Two lock shapes are measured: the flat k-ported Mutex (uncontended,
-// contended8, oversubscribed) and the n-process arbitration TreeMutex
+// Three lock shapes are measured: the flat k-ported Mutex (uncontended,
+// contended8, oversubscribed); the n-process arbitration TreeMutex
 // (tree, tree_oversubscribed — both recorded in BENCH_tree.json), whose
 // per-level wake counters expose the paper's O(log n / log log n) hand-off
-// structure.
+// structure; and the keyed LockTable (keyed_uniform and keyed_zipf in
+// BENCH_keyed.json, crash-free so the zero-allocation gate applies, plus
+// keyed_crash in its own file with a deterministic crash mix whose
+// recovery allocations are schedule-dependent and therefore kept out of
+// the allocs/op regression gate).
 //
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
@@ -23,12 +27,15 @@ package rtbench
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	rme "github.com/rmelib/rme"
 	"github.com/rmelib/rme/internal/wait"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 // Scenario is one workload shape.
@@ -40,6 +47,22 @@ type Scenario struct {
 	// Tree drives an n-process TreeMutex instead of the flat Mutex; Ports
 	// is then the process count.
 	Tree bool
+	// Keyed drives a LockTable instead of a single lock; Ports is then the
+	// worker-goroutine count, and Keys/Shards/ShardPorts shape the
+	// workload and arena.
+	Keyed bool
+	// Zipf draws keys zipf-distributed (hot-key contention) instead of
+	// uniformly. Keyed scenarios only.
+	Zipf bool
+	// Keys is the keyspace size for keyed scenarios.
+	Keys uint64
+	// Shards and ShardPorts are the keyed table's arena dimensions.
+	Shards, ShardPorts int
+	// CrashEvery, when non-zero, injects a crash about once per that many
+	// protocol steps during the measured pass (deterministic, counter
+	// based); the workers recover with the reclaim-and-retry supervisor
+	// pattern. Keyed scenarios only.
+	CrashEvery uint64
 	// Ports returns the port count (= worker goroutines), which may
 	// depend on GOMAXPROCS.
 	Ports func() int
@@ -83,6 +106,33 @@ func Scenarios() []Scenario {
 			Ports:          func() int { return 8 * runtime.GOMAXPROCS(0) },
 			Iters:          10_000,
 			SkipStrategies: []string{"spin"},
+		},
+		{
+			Name: "keyed_uniform", File: "keyed", Keyed: true,
+			Ports:  func() int { return 16 },
+			Iters:  100_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+		},
+		{
+			Name: "keyed_zipf", File: "keyed", Keyed: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  100_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+		},
+		{
+			// The crash mix lives in its own file group: recovery work
+			// allocates amounts that depend on the schedule, so these
+			// cells are recorded for trend-watching but excluded from the
+			// CI allocs/op gate (which BENCH_keyed.json's crash-free
+			// cells do enforce).
+			Name: "keyed_crash", File: "keyed_crash", Keyed: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  30_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+			CrashEvery: 4096,
 		},
 	}
 }
@@ -131,6 +181,11 @@ type Sample struct {
 	// arbitration tree.
 	Levels          int       `json:"levels,omitempty"`
 	LevelWakesPerOp []float64 `json:"level_wakes_per_op,omitempty"`
+
+	// Keyed runs only: the keyspace size and how many crashes the
+	// deterministic crash mix injected during the measured pass.
+	Keys    uint64 `json:"keys,omitempty"`
+	Crashes uint64 `json:"crashes,omitempty"`
 }
 
 // locker is the common surface of Mutex and TreeMutex the harness drives.
@@ -179,28 +234,83 @@ func runPassages(m locker, ports, total int) {
 	wg.Wait()
 }
 
+// RunKeyedPassages drives total keyed Lock/Unlock passages split across
+// workers goroutines on tbl, each worker drawing keys from its own
+// deterministic stream (zipf-skewed or uniform over keys). With crashing
+// true the workers go through LockTable.Do — the reclaim-and-retry
+// supervisor — so injected deaths are recovered inline. Exported so
+// BenchmarkE16KeyedTable measures the exact workload the BENCH_keyed.json
+// gate records.
+func RunKeyedPassages(tbl *rme.LockTable, workers, total int, zipfian bool, keys uint64, crashing bool) {
+	var wg sync.WaitGroup
+	per := total / workers
+	extra := total % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			var nextKey func() uint64
+			if zipfian {
+				z := rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), 1.2, 1, keys-1)
+				nextKey = z.Uint64
+			} else {
+				r := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
+				nextKey = func() uint64 { return r.Uint64() % keys }
+			}
+			for i := 0; i < n; i++ {
+				k := nextKey()
+				if crashing {
+					tbl.Do(k, runtime.Gosched) // critical-section work inside
+				} else {
+					tbl.Lock(k)
+					runtime.Gosched() // critical-section work
+					tbl.Unlock(k)
+				}
+				runtime.Gosched() // non-critical-section work
+			}
+		}(w, n)
+	}
+	wg.Wait()
+}
+
 // Run measures one matrix cell: a warm-up pass (which also fills the node
 // pools and creates the reusable park channels), then Iters measured
 // passages. Allocation numbers come from the runtime's global malloc
 // counters, so they include the per-run worker spawns — amortized over the
 // passage count, that bias is < 0.01/op at the configured scales.
 //
-// Flat scenarios wrap the strategy with one global wait.Instrumented; tree
-// scenarios instead instrument per level (WithTreeInstrumentation) and
-// report the global counters as the sum over levels, so a wake is never
-// double-counted.
+// Flat and keyed scenarios wrap the strategy with one global
+// wait.Instrumented; tree scenarios instead instrument per level
+// (WithTreeInstrumentation) and report the global counters as the sum over
+// levels, so a wake is never double-counted. Keyed warm-ups always run
+// crash-free (they exist to fill the pools); the crash mix, if any, is
+// confined to the measured pass.
 func Run(sc Scenario, strategy string, pool bool) Sample {
 	ports := sc.Ports()
 	stats := &wait.Stats{}
 	var lk locker
 	var tm *rme.TreeMutex
-	if sc.Tree {
+	var tbl *rme.LockTable
+	switch {
+	case sc.Tree:
 		tm = rme.NewTree(ports,
 			rme.WithWaitStrategy(strategyByName(strategy)),
 			rme.WithNodePool(pool),
 			rme.WithTreeInstrumentation(true))
 		lk = tm
-	} else {
+	case sc.Keyed:
+		st := wait.Instrumented(strategyByName(strategy), stats)
+		tbl = rme.NewLockTable(sc.Shards, sc.ShardPorts,
+			rme.WithWaitStrategy(st), rme.WithNodePool(pool),
+			rme.WithTableSeed(0x5eed))
+	default:
 		st := wait.Instrumented(strategyByName(strategy), stats)
 		lk = rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
 	}
@@ -209,20 +319,44 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 	if warm < 8*ports {
 		warm = 8 * ports
 	}
-	runPassages(lk, ports, warm)
+	if tbl != nil {
+		RunKeyedPassages(tbl, ports, warm, sc.Zipf, sc.Keys, false)
+	} else {
+		runPassages(lk, ports, warm)
+	}
 	stats.Reset()
 	if tm != nil {
 		for _, ls := range tm.LevelStats() {
 			ls.Reset()
 		}
 	}
+	var crashCount atomic.Uint64
+	if tbl != nil && sc.CrashEvery > 0 {
+		var calls atomic.Uint64
+		every := sc.CrashEvery
+		tbl.SetCrashFunc(func(port int, point string) bool {
+			if xrand.Mix64(calls.Add(1))%every == 0 {
+				crashCount.Add(1)
+				return true
+			}
+			return false
+		})
+	}
 
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
-	runPassages(lk, ports, sc.Iters)
+	if tbl != nil {
+		RunKeyedPassages(tbl, ports, sc.Iters, sc.Zipf, sc.Keys, sc.CrashEvery > 0)
+	} else {
+		runPassages(lk, ports, sc.Iters)
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
+	if tbl != nil && sc.CrashEvery > 0 {
+		tbl.SetCrashFunc(nil)
+		tbl.Reclaim() // leave no orphan behind for the next cell
+	}
 
 	total := float64(sc.Iters)
 	s := Sample{
@@ -235,6 +369,10 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		NsPerOp:     float64(elapsed.Nanoseconds()) / total,
 		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / total,
 		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+	}
+	if tbl != nil {
+		s.Keys = sc.Keys
+		s.Crashes = crashCount.Load()
 	}
 	if tm != nil {
 		s.Levels = tm.Levels()

@@ -58,3 +58,40 @@ func TestRunTreeCell(t *testing.T) {
 		t.Fatalf("tree scenario file = %q, want tree", sc.FileName())
 	}
 }
+
+// TestRunKeyedCell smokes the keyed cells: the crash-free zipf cell must
+// uphold the zero-allocation claim with pooling on, and the crash-mix cell
+// must actually inject (and fully recover from) crashes.
+func TestRunKeyedCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full measurement pass")
+	}
+	var zipf, crash Scenario
+	for _, s := range Scenarios() {
+		switch s.Name {
+		case "keyed_zipf":
+			zipf = s
+		case "keyed_crash":
+			crash = s
+		}
+	}
+	if !zipf.Keyed || !crash.Keyed {
+		t.Fatal("keyed scenarios missing from Scenarios()")
+	}
+	zipf.Iters = 20_000
+	s := Run(zipf, "yield", true)
+	if s.NsPerOp <= 0 || s.Keys != zipf.Keys || s.Crashes != 0 {
+		t.Fatalf("bad keyed sample shape: %+v", s)
+	}
+	if s.AllocsPerOp >= 0.01 {
+		t.Fatalf("crash-free keyed pooled AllocsPerOp = %v, want ~0", s.AllocsPerOp)
+	}
+	if zipf.FileName() != "keyed" || crash.FileName() != "keyed_crash" {
+		t.Fatalf("keyed file groups wrong: %q, %q", zipf.FileName(), crash.FileName())
+	}
+	crash.Iters = 20_000
+	s = Run(crash, "yield", true)
+	if s.Crashes == 0 {
+		t.Fatal("crash-mix cell injected no crashes")
+	}
+}

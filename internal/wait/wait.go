@@ -130,11 +130,27 @@ func (w *Waiter) Woken() bool { return w.word.Load()&stateMask == stateSet }
 
 // Consume clears a delivered wake so the Waiter can be waited on again
 // (the tournament lock's consume-then-re-check discipline) without closing
-// the episode: the generation is kept. Only the waiting process calls
-// Consume, and always re-checks its condition afterwards, so a concurrent
-// wake clobbered by the clear is never lost in effect.
-func (w *Waiter) Consume() {
-	w.word.Store(w.word.Load() &^ stateMask)
+// the episode: the generation is kept. It reports whether a wake was
+// actually consumed.
+//
+// Consume is a CAS loop that only ever retires a Set state it observed: a
+// Consume that finds no delivered wake writes nothing, so a wake landing
+// between its load and its (non-)store is delivered, not clobbered. The
+// earlier blind load-clear-store was safe only because every current
+// caller happens to re-check its condition after consuming; the CAS form
+// makes the no-lost-wake contract a property of the engine itself, so
+// future callers (and spurious consumes generally) need no such
+// discipline.
+func (w *Waiter) Consume() bool {
+	for {
+		cur := w.word.Load()
+		if cur&stateMask != stateSet {
+			return false // nothing delivered; leave a racing wake intact
+		}
+		if w.word.CompareAndSwap(cur, cur&^stateMask) {
+			return true
+		}
+	}
 }
 
 // wake delivers a wake to episode gen: CAS the state to Set only if the

@@ -454,3 +454,58 @@ func TestOversubscribedHandoff(t *testing.T) {
 		t.Fatalf("oversubscribed handoff stalled at %d/%d", sum.Load(), n)
 	}
 }
+
+// TestConsumeDoesNotClobberConcurrentWake pins the clobbered-wake window
+// closed by the CAS form of Consume: a spurious Consume (one racing a wake
+// that has not been delivered yet from its point of view) must never erase
+// the wake. The old load-clear-store could read Empty, have the wake land,
+// and then blindly store Empty over it. The invariant checked is exact:
+// after both calls finish, either the Consume consumed the wake or the
+// wake is still visible — never neither. Run under -race, the schedule
+// churn makes the window hit reliably within the iteration budget.
+func TestConsumeDoesNotClobberConcurrentWake(t *testing.T) {
+	st := Yield()
+	var c Cell
+	iters := 50_000
+	if testing.Short() {
+		iters = 5_000
+	}
+	for i := 0; i < iters; i++ {
+		w := c.Begin(st)
+		var consumed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.Wake()
+		}()
+		go func() {
+			defer wg.Done()
+			consumed.Store(w.Consume())
+		}()
+		wg.Wait()
+		if !consumed.Load() && !w.Woken() {
+			t.Fatalf("iteration %d: wake was clobbered by a spurious Consume", i)
+		}
+		if consumed.Load() && w.Woken() {
+			t.Fatalf("iteration %d: wake both consumed and still pending", i)
+		}
+	}
+}
+
+// TestConsumeReportsDelivery pins Consume's return value: false on an
+// empty episode, true exactly once per delivered wake.
+func TestConsumeReportsDelivery(t *testing.T) {
+	var c Cell
+	w := c.Begin(Yield())
+	if w.Consume() {
+		t.Fatal("Consume on a fresh episode reported a wake")
+	}
+	c.Wake()
+	if !w.Consume() {
+		t.Fatal("Consume after Wake reported nothing")
+	}
+	if w.Consume() {
+		t.Fatal("second Consume re-consumed the same wake")
+	}
+}

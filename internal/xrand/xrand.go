@@ -2,11 +2,16 @@
 // pseudo-random number generator (splitmix64) used by every randomized
 // component in this repository.
 //
-// The standard library's math/rand is deliberately avoided: experiments must
-// be exactly reproducible from a seed across runs and across packages, and
-// package-level global generators are mutable shared state (which the style
-// guides used by this repository forbid). An xrand.Rand is a two-word value
-// that is safe to copy and cheap to fork.
+// The standard library's math/rand is deliberately avoided in the
+// simulator and experiment stack: experiments must be exactly reproducible
+// from a seed across runs and across packages, and package-level global
+// generators are mutable shared state (which the style guides used by this
+// repository forbid). An xrand.Rand is a two-word value that is safe to
+// copy and cheap to fork. The one sanctioned exception is math/rand.Zipf
+// in the wall-clock benchmark harness and its tests (always behind an
+// explicitly seeded rand.New, never the global functions): those numbers
+// are host-dependent by nature, and this package does not reimplement the
+// rejection-inversion sampler.
 package xrand
 
 // Rand is a splitmix64 generator. The zero value is a valid generator with
@@ -28,10 +33,17 @@ func New(seed uint64) *Rand {
 // for every experiment in this repository.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return Mix64(r.state)
+}
+
+// Mix64 is the splitmix64 finalizer on its own: a full-avalanche,
+// invertible 64-bit mixer. It is the repository's standard stateless hash
+// — key-to-shard striping, counter-indexed crash schedules — so the magic
+// constants live in exactly one place.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.

@@ -212,6 +212,9 @@ func TestPaddedLayout(t *testing.T) {
 	if s := unsafe.Sizeof(paddedInt64{}); s%cacheLineSize != 0 {
 		t.Errorf("paddedInt64 size %d not a multiple of %d", s, cacheLineSize)
 	}
+	if s := unsafe.Sizeof(paddedUint64{}); s%cacheLineSize != 0 {
+		t.Errorf("paddedUint64 size %d not a multiple of %d", s, cacheLineSize)
+	}
 	if s := unsafe.Sizeof(paddedQnodePtr{}); s%cacheLineSize != 0 {
 		t.Errorf("paddedQnodePtr size %d not a multiple of %d", s, cacheLineSize)
 	}

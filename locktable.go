@@ -1,0 +1,363 @@
+package rme
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/rmelib/rme/internal/xrand"
+)
+
+// LockTable is the keyed lock service: it multiplexes an unbounded space
+// of named resources (uint64 or string keys) onto a fixed arena of
+// recoverable k-ported Mutexes, so millions of keys share O(shards·ports)
+// of NVRAM-modeled lock state. Keys hash onto shards; each shard is one
+// k-ported Mutex plus a PortLeaser, so up to ports goroutines per shard
+// can be engaged with its lock at once — one holding, the rest queued —
+// and any worker goroutine can lock any key without owning a port
+// identity for life.
+//
+// # Striping semantics
+//
+// Mutual exclusion is provided per key, implemented by striping: keys that
+// hash to the same shard share one lock, so locking a key excludes every
+// key of its stripe, never fewer than the key itself. The trade is the
+// classic one — coarser contention, bounded state. String keys are hashed
+// to 64 bits before striping; two strings colliding in all 64 bits would
+// alias to one key, which (like striping itself) can only make exclusion
+// coarser, never unsound.
+//
+// Striping also shapes what multi-key locking is allowed. A goroutine
+// must never hold one key while locking another key of the same table:
+// if the two keys share a stripe it deadlocks against itself (it queues
+// behind its own tenancy — no crash, so no sweep can free it), and even
+// across stripes, ordering acquisitions by key value does not prevent
+// ABBA deadlock because key order does not imply stripe order. Goroutines
+// that need several keys at once must order their acquisitions by
+// ShardIndex, locking at most one key per stripe (same-stripe keys are
+// already mutually excluded by the stripe itself).
+//
+// # Crash model and recovery
+//
+// A worker that dies (panics with a Crash) inside Lock or Unlock leaves
+// its shard port orphaned: the deferred guard installed around every
+// protocol step marks the lease in the dying goroutine, the runtime
+// stand-in for the environment noticing a process death. An orphaned port
+// still owns its protocol state — it may hold the stripe's critical
+// section, or sit mid-queue stalling the keys behind it — so the
+// supervisor that catches the Crash panic should run Reclaim promptly.
+// Reclaim sweeps every shard, runs the recovery Lock on each orphaned
+// port (retrying injected crashes), releases it, and returns the port to
+// the pool; progress of the whole stripe depends on it, exactly as RME
+// progress depends on crashed processes restarting.
+//
+// A LockTable must be created with NewLockTable. All methods are safe for
+// concurrent use; the per-key contract is the usual one (Unlock a key only
+// while holding it).
+type LockTable struct {
+	shards []lockShard
+	seed   uint64
+	ports  int
+}
+
+// lockShard is one stripe: a k-ported recoverable mutex, the lease pool
+// multiplexing workers onto its ports, and the key each leased port is
+// currently locking.
+type lockShard struct {
+	m    *Mutex
+	pool *PortLeaser
+	// key[p] is the key port p's current tenancy is about: stored between
+	// lease acquisition and the port's Lock, read by Held/Unlock scans.
+	// Only meaningful while the port's lease is not free.
+	key []atomic.Uint64
+}
+
+// tableSeedClock differentiates the default seeds of successive tables.
+var tableSeedClock atomic.Uint64
+
+// NewLockTable creates a keyed lock service striped over shards stripes of
+// ports ports each. Options are threaded through to every shard's Mutex
+// (wait strategy, node pooling); WithTableSeed pins the key-to-shard
+// mapping for reproducibility.
+//
+// Sizing: shards bounds how many keys can be held concurrently (one holder
+// per stripe), ports bounds how many workers can be queued on one stripe
+// before further arrivals wait for a lease. shards × ports is the arena's
+// total identity count and the size of its permanent state.
+func NewLockTable(shards, ports int, opts ...Option) *LockTable {
+	if shards <= 0 {
+		panic("rme: NewLockTable needs at least one shard")
+	}
+	if ports <= 0 {
+		panic("rme: NewLockTable needs at least one port per shard")
+	}
+	cfg := buildConfig(opts)
+	seed := cfg.seed
+	if !cfg.seedSet {
+		seed = xrand.Mix64(tableSeedClock.Add(1) * 0x9e3779b97f4a7c15)
+	}
+	t := &LockTable{
+		shards: make([]lockShard, shards),
+		seed:   seed,
+		ports:  ports,
+	}
+	for i := range t.shards {
+		t.shards[i] = lockShard{
+			m:    New(ports, opts...),
+			pool: NewPortLeaser(ports),
+			key:  make([]atomic.Uint64, ports),
+		}
+	}
+	return t
+}
+
+// Shards returns the number of stripes.
+func (t *LockTable) Shards() int { return len(t.shards) }
+
+// Ports returns the per-shard port count.
+func (t *LockTable) Ports() int { return t.ports }
+
+// ShardIndex returns the stripe key maps to. Two keys with equal
+// ShardIndex share one lock; a goroutine acquiring several keys at once
+// must sort them by ShardIndex and lock at most one key per stripe (see
+// the striping notes in the type's documentation).
+func (t *LockTable) ShardIndex(key uint64) int {
+	// The seeded full-avalanche mix spreads sequential and clustered keys
+	// over the shards.
+	return int(xrand.Mix64(key^t.seed) % uint64(len(t.shards)))
+}
+
+func (t *LockTable) shardOf(key uint64) *lockShard {
+	return &t.shards[t.ShardIndex(key)]
+}
+
+// hashString folds a string key to 64 bits (FNV-1a); the result feeds the
+// same seeded shard mixer as native uint64 keys.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Lock acquires the lock for key, waiting while the key's stripe is held
+// (for this or any aliased key) and while all of the stripe's ports are
+// leased. Crash-free calls allocate nothing once the shard's node pools
+// are warm.
+//
+// Do not call Lock while already holding another key of this table unless
+// the acquisitions are ordered by ShardIndex with at most one key per
+// stripe — a second key of an already-held stripe deadlocks the caller
+// against itself (see the striping notes on LockTable).
+func (t *LockTable) Lock(key uint64) {
+	sh := t.shardOf(key)
+	l := sh.pool.Acquire()
+	sh.key[l.Port].Store(key)
+	sh.lockPort(l)
+}
+
+// LockString is Lock for a string key.
+func (t *LockTable) LockString(key string) { t.Lock(hashString(key)) }
+
+// lockPort runs the port's recoverable Lock under the orphan-on-crash
+// guard (named methods so the defers are open-coded: the crash-free keyed
+// passage must not allocate).
+func (sh *lockShard) lockPort(l PortLease) {
+	defer sh.pool.orphanGuard(l)
+	sh.m.Lock(l.Port)
+}
+
+func (sh *lockShard) unlockPort(l PortLease) {
+	defer sh.pool.orphanGuard(l)
+	sh.m.Unlock(l.Port)
+}
+
+// holderOf locates the caller's tenancy: the port whose lease is held,
+// whose registered key matches, and which owns the stripe's critical
+// section. Under the Unlock contract (the caller holds key's lock) exactly
+// the caller's port satisfies all three — other ports with the same
+// registered key are queued waiters, and no other port can be in the CS.
+func (sh *lockShard) holderOf(key uint64) (PortLease, bool) {
+	for p := range sh.key {
+		if sh.key[p].Load() != key {
+			continue
+		}
+		w := sh.pool.words[p].Load()
+		if w&leaseStateMask != leaseHeld {
+			continue
+		}
+		if sh.m.Held(p) {
+			return PortLease{Port: p, epoch: w >> leaseEpochShift}, true
+		}
+	}
+	return PortLease{}, false
+}
+
+// Unlock releases the lock for key. It panics if the calling goroutine's
+// tenancy cannot be found — key is not held, or is held by a tenancy that
+// crashed (an orphan is released by Reclaim, not Unlock).
+func (t *LockTable) Unlock(key uint64) {
+	sh := t.shardOf(key)
+	l, ok := sh.holderOf(key)
+	if !ok {
+		panic(fmt.Sprintf("rme: Unlock of key %#x which is not held", key))
+	}
+	sh.unlockPort(l)
+	sh.pool.Release(l)
+}
+
+// UnlockString is Unlock for a string key.
+func (t *LockTable) UnlockString(key string) { t.Unlock(hashString(key)) }
+
+// Held reports whether key's lock is currently held for key itself —
+// including by an orphaned tenancy whose holder died inside the critical
+// section (recovery harnesses ask exactly that). A stripe held for a
+// different key of the same stripe reports false. The answer is a racy
+// snapshot, meaningful to the caller only under external ordering (e.g.
+// the caller itself holds the key, or the system is quiesced).
+func (t *LockTable) Held(key uint64) bool {
+	sh := t.shardOf(key)
+	for p := range sh.key {
+		if sh.key[p].Load() != key {
+			continue
+		}
+		if sh.pool.words[p].Load()&leaseStateMask == leaseFree {
+			continue
+		}
+		if sh.m.Held(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldString is Held for a string key.
+func (t *LockTable) HeldString(key string) bool { return t.Held(hashString(key)) }
+
+// Orphans counts ports whose lessee died and whose recovery has not
+// finished (orphaned or mid-reclaim), across all shards. Zero means no
+// sweep work is pending.
+func (t *LockTable) Orphans() int {
+	n := 0
+	for i := range t.shards {
+		pool := t.shards[i].pool
+		for p := 0; p < pool.Ports(); p++ {
+			switch pool.State(p) {
+			case LeaseOrphaned, LeaseReclaiming:
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Quiesced reports whether every port of every shard is free — no live
+// tenancies, no orphans awaiting recovery. Like all inspection methods it
+// is a racy snapshot; it is exact once workers have stopped.
+func (t *LockTable) Quiesced() bool {
+	for i := range t.shards {
+		if t.shards[i].pool.InUse() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reclaim is ReclaimWith(nil).
+func (t *LockTable) Reclaim() int { return t.ReclaimWith(nil) }
+
+// ReclaimWith sweeps every shard for orphaned ports and recovers each:
+// the recovery Lock is run on the port (wait-free re-entry if the dead
+// worker held the critical section, queue repair or exit completion
+// otherwise), the lock is released, and the port returns to the lease
+// pool. Injected crashes during the recovery itself are retried until the
+// port is clean. It returns the number of ports reclaimed.
+//
+// If fn is non-nil it is called for each orphan before its recovery runs,
+// with the key the dead tenancy was locking and whether the death was
+// inside the critical section — the hook for application-level redo/undo
+// of the resource the key names. Calls are made concurrently (the sweep
+// recovers orphans in parallel; see PortLeaser.ReclaimOrphans for why
+// serial recovery could deadlock), on the sweep's recovery goroutines:
+// fn must be safe for concurrent use and must not panic — a panic there
+// escapes on a goroutine the caller cannot recover from and aborts the
+// process with the port still mid-reclaim.
+//
+// Run a sweep whenever a worker death is observed — e.g. from the
+// supervisor that caught the Crash panic. An unreclaimed orphan can stall
+// every key of its stripe.
+func (t *LockTable) ReclaimWith(fn func(key uint64, inCS bool)) int {
+	total := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		total += sh.pool.ReclaimOrphans(func(port int) {
+			if fn != nil {
+				fn(sh.key[port].Load(), sh.m.Held(port))
+			}
+			// Run the port's recovery to completion, absorbing injected
+			// crashes: Lock recovers whatever the dead worker left (CS
+			// re-entry, queue repair, exit completion), Unlock releases;
+			// a crash during Unlock is in turn recovered by the next Lock.
+			for {
+				if crashes(func() { sh.m.Lock(port) }) {
+					continue
+				}
+				if !crashes(func() { sh.m.Unlock(port) }) {
+					return
+				}
+			}
+		})
+	}
+	return total
+}
+
+// Do runs fn while holding key's lock, surviving worker deaths in the
+// lock protocol itself: a Crash panic out of the acquisition is absorbed,
+// the orphaned tenancy reclaimed, and the acquisition retried; a Crash
+// out of the release is absorbed and the reclaim sweep completes the
+// release. Either way fn has run exactly once by the time Do returns —
+// the packaged form of the supervisor pattern the tests and benchmarks
+// drive (see examples/locktable for building the same loop by hand around
+// ReclaimWith when application-level redo/undo is needed).
+//
+// fn must return normally: Do deliberately does not guard it, because a
+// death inside the critical section is an application-recovery problem
+// (the resource may be torn) that blanket retry would paper over — model
+// that with the lower-level API and ReclaimWith instead.
+func (t *LockTable) Do(key uint64, fn func()) {
+	for crashes(func() { t.Lock(key) }) {
+		t.Reclaim()
+	}
+	fn()
+	if crashes(func() { t.Unlock(key) }) {
+		t.Reclaim()
+	}
+}
+
+// DoString is Do for a string key.
+func (t *LockTable) DoString(key string, fn func()) { t.Do(hashString(key), fn) }
+
+// SetCrashFunc installs (or, with nil, removes) the crash-injection hook
+// on every shard's Mutex. The hook's port argument is the shard-local
+// port.
+func (t *LockTable) SetCrashFunc(fn CrashFunc) {
+	for i := range t.shards {
+		t.shards[i].m.SetCrashFunc(fn)
+	}
+}
+
+// crashes runs f and reports whether it panicked with an injected Crash
+// (which is swallowed); any other panic propagates.
+func crashes(f func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := AsCrash(r); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	f()
+	return false
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 // lockRetry acquires the lock through port, recovering from injected
@@ -251,11 +252,7 @@ func TestRandomCrashStorm(t *testing.T) {
 	m := rme.New(workers)
 	var calls atomic.Uint64
 	m.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		// Deterministic splitmix-style hash of the call number.
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		return z%997 == 0
+		return xrand.Mix64(calls.Add(1))%997 == 0
 	})
 	counter := 0
 	totalCrashes := int64(0)

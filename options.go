@@ -45,6 +45,8 @@ type config struct {
 	strat     wait.Strategy
 	pool      bool
 	treeStats bool
+	seed      uint64
+	seedSet   bool
 }
 
 func buildConfig(opts []Option) config {
@@ -73,6 +75,18 @@ func WithWaitStrategy(s WaitStrategy) Option {
 // the garbage collector, so crash recovery is unaffected.
 func WithNodePool(enabled bool) Option {
 	return func(c *config) { c.pool = enabled }
+}
+
+// WithTableSeed fixes a LockTable's key-hashing seed, making the
+// key-to-shard mapping reproducible across runs — deterministic tests and
+// benchmarks want this. By default each table draws a distinct seed so
+// that two tables over the same keys do not share hot shards. New and
+// NewTree ignore the option.
+func WithTableSeed(seed uint64) Option {
+	return func(c *config) {
+		c.seed = seed
+		c.seedSet = true
+	}
 }
 
 // WithTreeInstrumentation makes NewTree attach a WaitStats counter block

@@ -30,6 +30,14 @@ type paddedInt64 struct {
 	_ [cacheLineSize - unsafe.Sizeof(atomic.Int64{})%cacheLineSize]byte
 }
 
+// paddedUint64 is an atomic.Uint64 alone on its cache line(s). Used for
+// the lease table's per-port ownership words, which unrelated workers CAS
+// concurrently while hunting for a free port.
+type paddedUint64 struct {
+	atomic.Uint64
+	_ [cacheLineSize - unsafe.Sizeof(atomic.Uint64{})%cacheLineSize]byte
+}
+
 // paddedQnodePtr is an atomic.Pointer[qnode] alone on its cache line(s).
 // Used for the port table Node[p], which every repair scans while owners
 // store to their own slot.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 type namedStrategy struct {
@@ -120,10 +121,7 @@ func TestOversubscribedCrashStormSpinPark(t *testing.T) {
 		rme.WithNodePool(true))
 	var calls atomic.Uint64
 	m.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		return z%1499 == 0
+		return xrand.Mix64(calls.Add(1))%1499 == 0
 	})
 	counter := 0
 	var crashes atomic.Int64
@@ -165,10 +163,7 @@ func TestCrashStormWithPooling(t *testing.T) {
 			m := rme.New(workers, rme.WithWaitStrategy(s.st), rme.WithNodePool(true))
 			var calls atomic.Uint64
 			m.SetCrashFunc(func(port int, point string) bool {
-				c := calls.Add(1)
-				z := c + 0x9e3779b97f4a7c15
-				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-				return z%997 == 0
+				return xrand.Mix64(calls.Add(1))%997 == 0
 			})
 			counter := 0
 			var wg sync.WaitGroup
@@ -200,10 +195,7 @@ func TestTreeWithOptions(t *testing.T) {
 		rme.WithNodePool(true))
 	var calls atomic.Uint64
 	tm.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		return z%1999 == 0
+		return xrand.Mix64(calls.Add(1))%1999 == 0
 	})
 	counter := 0
 	var inside atomic.Int32

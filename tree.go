@@ -3,6 +3,7 @@ package rme
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"github.com/rmelib/rme/internal/wait"
 )
@@ -45,6 +46,11 @@ type TreeMutex struct {
 	// levelStats[l] counts wait-engine events inside level l's mutexes;
 	// nil unless WithTreeInstrumentation was given.
 	levelStats []*wait.Stats
+	// crashFn is the tree-level crash hook: the phase-word stores in
+	// Unlock/replayRelease are protocol steps of their own, and a crash
+	// exactly between them must be injectable just like the node-level
+	// steps are (see the T.* points).
+	crashFn atomic.Pointer[CrashFunc]
 }
 
 // treeStep is one precomputed hop of a process's leaf-to-root path.
@@ -65,11 +71,24 @@ const (
 	tphMask  = (1 << tphShift) - 1
 )
 
+// encodeTreeDown packs a release cursor into a tphDown phase word. The
+// cursor is stored biased by one — 0 in the cursor bits means "nothing left
+// to replay" — so that cursor -1 (a 0-level tree, or a release that has
+// finished every level) is distinguishable from cursor 0 (leaf level still
+// to release). Storing -1 and 0 both as 0, as an earlier encoding did, made
+// a crash between Unlock's tphDown store and its tphIdle store on a
+// NewTree(1) replay level 0 of an empty path table (out-of-range panic).
 func encodeTreeDown(cursor int) int64 {
 	if cursor < 0 {
-		return tphDown
+		cursor = -1
 	}
-	return tphDown | int64(cursor)<<tphShift
+	return tphDown | int64(cursor+1)<<tphShift
+}
+
+// decodeTreeDown recovers the release cursor from a tphDown phase word;
+// -1 means the replay has nothing to do.
+func decodeTreeDown(word int64) int {
+	return int(word>>tphShift) - 1
 }
 
 // TreeArity returns the paper's node degree for n processes:
@@ -140,15 +159,45 @@ func (t *TreeMutex) Levels() int { return t.levels }
 // WithTreeInstrumentation. Wakes per level is the RMR proxy for the
 // tree's hand-off cost: the paper's bound says the sum over the path is
 // O(log n / log log n) per crash-free super-passage.
-func (t *TreeMutex) LevelStats() []*WaitStats { return t.levelStats }
+//
+// The returned slice is a fresh copy on every call — mutating it cannot
+// detach the tree's live counter blocks — but its elements point at those
+// live counters: reading them observes the tree's ongoing activity, and
+// Reset on one zeroes the level for every holder of the pointer.
+func (t *TreeMutex) LevelStats() []*WaitStats {
+	if t.levelStats == nil {
+		return nil
+	}
+	out := make([]*WaitStats, len(t.levelStats))
+	copy(out, t.levelStats)
+	return out
+}
 
-// SetCrashFunc installs the crash-injection hook on every tree node. The
-// hook's port argument is the node-local port (child index); points keep
-// the paper's line labels.
+// SetCrashFunc installs the crash-injection hook on every tree node and on
+// the tree's own phase-word steps. Node-level points keep the paper's line
+// labels and pass the node-local port (child index); the tree-level points
+// ("T.down" after Unlock's cursor publication, "T.cursor" after each
+// replay's cursor advance, "T.idle" before the release completes) pass the
+// process index.
 func (t *TreeMutex) SetCrashFunc(fn CrashFunc) {
+	if fn == nil {
+		t.crashFn.Store(nil)
+	} else {
+		t.crashFn.Store(&fn)
+	}
 	for _, level := range t.nodes {
 		for _, m := range level {
 			m.SetCrashFunc(fn)
+		}
+	}
+}
+
+// tcp is the tree-level crash point check (the TreeMutex counterpart of
+// Mutex.cp).
+func (t *TreeMutex) tcp(proc int, point string) {
+	if fn := t.crashFn.Load(); fn != nil {
+		if (*fn)(proc, point) {
+			panic(Crash{Port: proc, Point: point})
 		}
 	}
 }
@@ -174,7 +223,7 @@ func (t *TreeMutex) Lock(proc int) {
 		return // crashed in the CS: every level is still held
 	case tphDown:
 		// Crashed mid-release: replay from the cursor, then climb afresh.
-		t.replayRelease(proc, int(word>>tphShift))
+		t.replayRelease(proc, decodeTreeDown(word))
 	}
 	t.phase[proc].Store(tphUp)
 	for _, s := range t.path[proc] {
@@ -191,18 +240,23 @@ func (t *TreeMutex) Unlock(proc int) {
 		panic(fmt.Sprintf("rme: Unlock of process %d which does not hold the tree lock", proc))
 	}
 	t.phase[proc].Store(encodeTreeDown(t.levels - 1))
+	t.tcp(proc, "T.down")
 	t.replayRelease(proc, t.levels-1)
+	t.tcp(proc, "T.idle")
 	t.phase[proc].Store(tphIdle)
 }
 
 // replayRelease releases levels cursor..0 (top-down) with the idempotent
-// per-node exit recovery, advancing the stable cursor between levels.
+// per-node exit recovery, advancing the stable cursor between levels. A
+// cursor below zero means the release already passed the leaf level and
+// there is nothing to replay.
 func (t *TreeMutex) replayRelease(proc, cursor int) {
 	path := t.path[proc]
 	for l := cursor; l >= 0; l-- {
 		path[l].m.exitRecover(path[l].port)
 		if l > 0 {
 			t.phase[proc].Store(encodeTreeDown(l - 1))
+			t.tcp(proc, "T.cursor")
 		}
 	}
 }

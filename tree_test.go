@@ -9,6 +9,7 @@ import (
 	"time"
 
 	rme "github.com/rmelib/rme"
+	"github.com/rmelib/rme/internal/xrand"
 )
 
 func TestTreeArity(t *testing.T) {
@@ -138,10 +139,7 @@ func TestTreeRandomCrashStorm(t *testing.T) {
 	m := rme.NewTree(n)
 	var calls atomic.Uint64
 	m.SetCrashFunc(func(port int, point string) bool {
-		c := calls.Add(1)
-		z := c + 0x9e3779b97f4a7c15
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		return z%1499 == 0
+		return xrand.Mix64(calls.Add(1))%1499 == 0
 	})
 	counter := 0
 	var wg sync.WaitGroup
@@ -224,5 +222,78 @@ func TestTreeLevels(t *testing.T) {
 	}
 	if l := rme.NewTree(64).Levels(); l != 4 { // arity 3
 		t.Fatalf("levels(64) = %d, want 4", l)
+	}
+}
+
+// TestTreeUnlockCrashEveryWindow crash-injects a release through every
+// window of Unlock — the tree-level phase-word steps (T.down, T.cursor,
+// T.idle) and every node-level exit step in between — and requires the
+// next Lock on the same identity to recover. The 1-process tree is the
+// regression case for the release-cursor encoding: its path table is
+// empty, and the pre-fix encoding of cursor -1 collided with cursor 0, so
+// a crash at T.down made the recovery Lock index path[0] out of range.
+func TestTreeUnlockCrashEveryWindow(t *testing.T) {
+	for _, n := range []int{1, 5} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			for window := 1; ; window++ {
+				m := rme.NewTree(n)
+				m.Lock(0)
+				var count atomic.Int64
+				m.SetCrashFunc(func(port int, point string) bool {
+					return count.Add(1) == int64(window)
+				})
+				crashed := func() (crashed bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := rme.AsCrash(r); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					m.Unlock(0)
+					return false
+				}()
+				m.SetCrashFunc(nil)
+				if !crashed {
+					// The window index walked past the last crash point:
+					// every window has been exercised.
+					if window == 1 {
+						t.Fatal("no crash windows fired at all")
+					}
+					break
+				}
+				// The recovery Lock must replay the interrupted release and
+				// then acquire; pre-fix this panicked with an out-of-range
+				// path index on the n=1 tree.
+				m.Lock(0)
+				if !m.Held(0) {
+					t.Fatalf("window %d: recovery Lock did not acquire", window)
+				}
+				m.Unlock(0)
+			}
+		})
+	}
+}
+
+// TestTreeLevelStatsSnapshot pins LevelStats's snapshot semantics: the
+// returned slice is a copy, so overwriting its elements cannot detach the
+// tree's live counter blocks.
+func TestTreeLevelStatsSnapshot(t *testing.T) {
+	m := rme.NewTree(8, rme.WithTreeInstrumentation(true))
+	ls := m.LevelStats()
+	orig := make([]*rme.WaitStats, len(ls))
+	copy(orig, ls)
+	for i := range ls {
+		ls[i] = nil // must only mutate the caller's copy
+	}
+	again := m.LevelStats()
+	for i := range again {
+		if again[i] != orig[i] {
+			t.Fatalf("level %d: LevelStats element changed after caller mutation", i)
+		}
+		if again[i] == nil {
+			t.Fatalf("level %d: live counter block lost", i)
+		}
 	}
 }
