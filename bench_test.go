@@ -555,3 +555,34 @@ func BenchmarkE16KeyedTable(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE17AsyncBatch measures the keyed table's asynchronous
+// pipeline (LockAsync → receive → Grant.Unlock under zipf traffic) and
+// the hot-stripe batch amortization pair: sequential-8 locks one
+// stripe's keys one at a time, batch-8 covers the same group with one
+// DoBatch — per-key ns between those two is the amortization factor the
+// BENCH_keyed_async.json gate pins at ≥2x. All three drive rtbench's
+// exported runners, so they measure the exact shapes the gate records.
+func BenchmarkE17AsyncBatch(b *testing.B) {
+	const workers = 8
+	b.Run("async_zipf", func(b *testing.B) {
+		tbl := rme.NewLockTable(32, 4, rme.WithNodePool(true), rme.WithTableSeed(1))
+		defer tbl.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		rtbench.RunAsyncKeyedPassages(tbl, 2*workers, b.N, true, 1<<20)
+	})
+	for _, batch := range []bool{false, true} {
+		name := "hot_sequential8"
+		if batch {
+			name = "hot_batch8"
+		}
+		b.Run(name, func(b *testing.B) {
+			tbl := rme.NewLockTable(32, 4, rme.WithNodePool(true), rme.WithTableSeed(1))
+			defer tbl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			rtbench.RunHotKeyedPassages(tbl, workers, b.N, 8, batch, 64)
+		})
+	}
+}

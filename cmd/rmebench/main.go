@@ -32,7 +32,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash)")
+		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_async, keyed_hot8, keyed_batch)")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
 		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
@@ -172,6 +172,20 @@ type cellKey struct {
 	Pool     bool
 }
 
+// compareCell judges one fresh sample against its baseline: "ok", or the
+// regression verdict. Allocations gate machine-independently; ns/op only
+// against a baseline recorded at the same GOMAXPROCS.
+func compareCell(b, s rtbench.Sample, tol float64) string {
+	const allocEps = 0.01
+	if s.AllocsPerOp > b.AllocsPerOp+allocEps {
+		return "ALLOCS REGRESSION"
+	}
+	if s.GOMAXPROCS == b.GOMAXPROCS && s.NsPerOp > b.NsPerOp*(1+tol) {
+		return "NS/OP REGRESSION"
+	}
+	return "ok"
+}
+
 // runCompare re-runs every scenario recorded in the given baseline files
 // and fails (non-nil error) on a performance regression against them:
 //
@@ -180,6 +194,12 @@ type cellKey struct {
 //   - ns/op may not increase by more than tol, compared only when the
 //     baseline was recorded at the same GOMAXPROCS (wall-clock numbers
 //     from a different core count are not comparable).
+//
+// A scenario with cells over budget is re-run (up to two retries), and a
+// cell passes if any attempt passes: yield-heavy contended cells on a
+// busy host jitter past any reasonable tolerance in single runs, and a
+// transient scheduler hiccup must not fail the gate — while a real
+// regression fails every attempt and still trips it.
 //
 // Cells present on only one side (e.g. the pure-spin strategy, which is
 // auto-skipped when ports exceed GOMAXPROCS) are reported and skipped.
@@ -208,7 +228,7 @@ func runCompare(files []string, tol float64) error {
 		return fmt.Errorf("no baseline samples in %s", strings.Join(files, ","))
 	}
 
-	const allocEps = 0.01
+	const maxAttempts = 3
 	regressions := 0
 	compared := make(map[cellKey]bool)
 	for _, sc := range rtbench.Scenarios() {
@@ -216,30 +236,49 @@ func runCompare(files []string, tol float64) error {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "comparing %s (%d ports)...\n", sc.Name, sc.Ports())
-		for _, s := range rtbench.RunScenario(sc) {
-			key := cellKey{s.Scenario, s.Strategy, s.Pool}
-			b, ok := baseline[key]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v no baseline cell; skipped\n", s.Strategy, s.Pool)
-				continue
-			}
-			compared[key] = true
-			verdict := "ok"
-			if s.AllocsPerOp > b.AllocsPerOp+allocEps {
-				verdict = "ALLOCS REGRESSION"
-				regressions++
-			}
-			nsNote := "ns not compared (GOMAXPROCS differs)"
-			if s.GOMAXPROCS == b.GOMAXPROCS {
-				nsNote = fmt.Sprintf("ns %+.1f%%", 100*(s.NsPerOp-b.NsPerOp)/b.NsPerOp)
-				if s.NsPerOp > b.NsPerOp*(1+tol) && verdict == "ok" {
-					verdict = "NS/OP REGRESSION"
-					regressions++
+		// failed holds the cells that have not passed in any attempt yet;
+		// retries re-measure exactly those cells, not the whole scenario.
+		var failed map[cellKey]string
+		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			var samples []rtbench.Sample
+			if attempt == 1 {
+				samples = rtbench.RunScenario(sc)
+			} else {
+				for key := range failed {
+					samples = append(samples, rtbench.Run(sc, key.Strategy, key.Pool))
 				}
 			}
-			fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v allocs %.3f -> %.3f, %s: %s\n",
-				s.Strategy, s.Pool, b.AllocsPerOp, s.AllocsPerOp, nsNote, verdict)
+			failed = make(map[cellKey]string)
+			for _, s := range samples {
+				key := cellKey{s.Scenario, s.Strategy, s.Pool}
+				b, ok := baseline[key]
+				if !ok {
+					if attempt == 1 {
+						fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v no baseline cell; skipped\n", s.Strategy, s.Pool)
+					}
+					continue
+				}
+				compared[key] = true
+				verdict := compareCell(b, s, tol)
+				nsNote := "ns not compared (GOMAXPROCS differs)"
+				if s.GOMAXPROCS == b.GOMAXPROCS {
+					nsNote = fmt.Sprintf("ns %+.1f%%", 100*(s.NsPerOp-b.NsPerOp)/b.NsPerOp)
+				}
+				fmt.Fprintf(os.Stderr, "  %-9s pool=%-5v allocs %.3f -> %.3f, %s: %s\n",
+					s.Strategy, s.Pool, b.AllocsPerOp, s.AllocsPerOp, nsNote, verdict)
+				if verdict != "ok" {
+					failed[key] = verdict
+				}
+			}
+			if len(failed) == 0 {
+				break
+			}
+			if attempt < maxAttempts {
+				fmt.Fprintf(os.Stderr, "  %d cell(s) over budget; re-running %s (attempt %d/%d)\n",
+					len(failed), sc.Name, attempt+1, maxAttempts)
+			}
 		}
+		regressions += len(failed)
 	}
 	for key := range baseline {
 		if !compared[key] {
@@ -303,19 +342,26 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("(uncontended, contended8, oversubscribed for the flat lock;")
 	fmt.Println("BENCH_tree.json for the arbitration tree, contended and")
 	fmt.Println("oversubscribed, with per-level wake counters; BENCH_keyed.json")
-	fmt.Println("for the keyed LockTable under uniform and zipf key traffic, plus")
-	fmt.Println("BENCH_keyed_crash.json for the same table under a deterministic")
+	fmt.Println("for the keyed LockTable under uniform and zipf key traffic;")
+	fmt.Println("BENCH_keyed_async.json for the table's asynchronous pipeline —")
+	fmt.Println("keyed_async is the LockAsync completion passage, and the")
+	fmt.Println("keyed_hot8 / keyed_batch pair prices one stripe's keys locked")
+	fmt.Println("one-by-one against the same groups under DoBatch, per-key ns/op")
+	fmt.Println("in both so the batch amortization factor reads directly off the")
+	fmt.Println("file (≥2x on the committed baselines); plus")
+	fmt.Println("BENCH_keyed_crash.json for the table under a deterministic")
 	fmt.Println("crash mix, kept out of the allocation gate because recovery")
 	fmt.Println("allocations are schedule-dependent) across the wait-strategy ×")
 	fmt.Println("node-pool matrix. With the generation-stamped wait engine and the")
 	fmt.Println("node pool on, every crash-free passage — flat, tree, or keyed,")
-	fmt.Println("contended or not, under any strategy — is allocation-free, and")
+	fmt.Println("sync, async, or batched, contended or not, under any strategy —")
+	fmt.Println("is allocation-free, and")
 	fmt.Println()
 	fmt.Println("    go run ./cmd/rmebench -compare BENCH_<scenario>.json")
 	fmt.Println()
 	fmt.Println("re-runs the recorded scenarios and exits non-zero if allocs/op")
 	fmt.Println("rose at all or ns/op rose past the -tol threshold on a comparable")
 	fmt.Println("host (CI runs this as a smoke gate). `go test -bench . -benchmem`")
-	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E16).")
+	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E17).")
 	return failed
 }

@@ -93,6 +93,47 @@
 // progress guarantees assume crashed processes restart. See
 // examples/locktable for the full pattern under a crash storm.
 //
+// # Asynchronous and batched acquisition
+//
+// Blocking Lock parks one goroutine per waiting key. At service scale the
+// LockTable offers two ways out:
+//
+//   - LockAsync(key) enqueues and returns a channel; LockAsyncFunc takes
+//     a callback. A per-shard dispatcher — one goroutine per stripe,
+//     parked on the wait engine when idle — works through the stripe's
+//     requests in FIFO order and completes each with a Grant, so ten
+//     thousand in-flight requests cost ten thousand queue nodes, not ten
+//     thousand goroutine stacks. The grant-ownership rule: exactly one
+//     party owns a Grant at a time (dispatcher, then channel or callback,
+//     then receiver), and the owner must settle it exactly once, with
+//     Grant.Unlock or Grant.Abandon. A requester that dies before
+//     receiving leaves the grant parked in its channel, still holding the
+//     stripe — its supervisor drains the channel and abandons the grant,
+//     which routes the tenancy into the ordinary orphan/reclaim
+//     machinery. A callback that dies with a Crash panic is orphaned in
+//     place and the dispatcher survives it; callbacks must settle their
+//     grant before returning (only the channel variant may move a grant
+//     between goroutines — a hand-off out of a callback would let a
+//     later crash in the callback orphan the recipient's live tenancy).
+//   - LockBatch / DoBatch acquire many keys at once: keys are sorted by
+//     ShardIndex (so concurrent batches cannot ABBA-deadlock) and each
+//     same-stripe run is covered by a single tenancy — one lease scan,
+//     one queue entry, one handoff wake per stripe instead of per key,
+//     which under hot-key traffic amortizes nearly the whole acquisition
+//     overhead away. A worker that dies mid-batch orphans exactly the
+//     stripes it held; DoBatch packages the sweep-and-retry supervisor
+//     around that, running fn exactly once per key.
+//
+// The self-deadlock rules carry over unchanged, because they are
+// properties of striping, not of any entry point: never wait for a grant
+// (or call LockBatch) while holding a key of the same table outside the
+// documented ascending-ShardIndex discipline, and never block a grant
+// callback on another grant of its own stripe — the goroutine it would
+// wait for is the one running it. Crash-free async and batch passages
+// allocate nothing once pools are warm (amortized over the batch for
+// DoBatch); WithDispatcherSpin and WithAsyncPrewarm tune the dispatcher's
+// idle behavior and first-request allocations.
+//
 // # Crash injection
 //
 // Real deployments get crashes from the outside world; tests need them on

@@ -1,0 +1,102 @@
+// asyncbatch: the keyed lock service's completion-based and batched
+// pipelines, on a workload shaped like a hot-partition metering service.
+//
+// A fleet of producer goroutines meters usage events against a handful of
+// hot accounts. Instead of blocking one goroutine per contended key, each
+// producer submits its acquisition with LockAsync and keeps generating
+// while the stripe's dispatcher queues the request; the critical section
+// runs when the Grant arrives. A settlement pass then folds every
+// account's meter into its invoice with DoBatch — the accounts share a
+// few stripes, so the whole pass costs a handful of lease scans and
+// handoff wakes rather than one per account.
+//
+// The demo also exercises the two async death patterns the API defines:
+// a producer that dies before receiving its grant (the supervisor drains
+// the channel and abandons the grant, surfacing the tenancy through
+// Orphans for a normal reclaim sweep), and a grant callback that dies
+// holding its grant (the dispatcher orphans it in place and keeps
+// serving).
+//
+//	go run ./examples/asyncbatch
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	rme "github.com/rmelib/rme"
+)
+
+const (
+	producers = 6
+	accounts  = 8
+	events    = 300 // per producer
+)
+
+func main() {
+	// A deliberately small arena: 4 stripes of 2 ports for 8 hot
+	// accounts, so the async and batch machinery actually contends.
+	tbl := rme.NewLockTable(4, 2, rme.WithNodePool(true), rme.WithTableSeed(42),
+		rme.WithAsyncPrewarm(producers))
+	defer tbl.Close()
+
+	// The "non-volatile" application state, guarded by the keyed lock:
+	// per-account usage meters and settled invoices.
+	meter := make([]int, accounts)
+	invoice := make([]int, accounts)
+
+	// Producers meter events through the async pipeline: LockAsyncFunc
+	// runs each increment on the stripe dispatcher once the key's stripe
+	// hands over, so producers never block on a hot key. Submission is
+	// not completion — the WaitGroup counts grants settled, and the
+	// settlement pass below must not start before it drains.
+	var inflight sync.WaitGroup
+	inflight.Add(producers * events)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			for e := 0; e < events; e++ {
+				acct := uint64((p + e) % accounts)
+				tbl.LockAsyncFunc(acct, func(g rme.Grant) {
+					meter[g.Key()]++ // guarded by the granted stripe
+					g.Unlock()
+					inflight.Done()
+				})
+			}
+		}(p)
+	}
+	inflight.Wait()
+
+	// A producer that dies between submitting and receiving: the grant is
+	// delivered regardless and parks in the channel, still holding the
+	// stripe. The supervisor's move is to drain and abandon it — the
+	// tenancy becomes an ordinary orphan, swept like any other death.
+	ch := tbl.LockAsync(0)
+	// ... the requester crashes here, before <-ch ...
+	g := <-ch // supervisor drains the dead requester's channel
+	g.Abandon()
+	fmt.Printf("abandoned grant surfaces as %d orphan; reclaimed %d\n",
+		tbl.Orphans(), tbl.Reclaim())
+
+	// Settlement: fold every meter into its invoice under one batch. The
+	// 8 accounts share 4 stripes, so this is 4 tenancies, not 8 — and
+	// DoBatch retries acquisition around any injected deaths, running fn
+	// exactly once per key.
+	keys := make([]uint64, accounts)
+	for a := range keys {
+		keys[a] = uint64(a)
+	}
+	tbl.DoBatch(keys, func(k uint64) {
+		invoice[k] += meter[k]
+		meter[k] = 0
+	})
+
+	total := 0
+	for a := range invoice {
+		total += invoice[a]
+	}
+	fmt.Printf("settled %d events across %d accounts (want %d): invoices %v\n",
+		total, accounts, producers*events, invoice)
+	if total != producers*events || !tbl.Quiesced() {
+		panic("asyncbatch: lost or duplicated events")
+	}
+}

@@ -73,7 +73,7 @@ func E8Scenario2() *Result {
 	res.note("GH reconstruction: duplicate predecessor: %v, queue drained: %v, P6 starved: %v",
 		gh.DuplicatePredecessor, gh.Drained, gh.P6Starved)
 	if !gh.DuplicatePredecessor || !gh.P6Starved {
-		res.Err = fmt.Errorf("Scenario 2 did not reproduce")
+		res.Err = fmt.Errorf("scenario 2 did not reproduce")
 		return res
 	}
 

@@ -14,6 +14,16 @@
 // recovery allocations are schedule-dependent and therefore kept out of
 // the allocs/op regression gate).
 //
+// The keyed table's asynchronous pipeline has its own file group,
+// BENCH_keyed_async.json, holding three scenarios that are meant to be
+// read together: keyed_async (the completion-based LockAsync passage
+// under zipf traffic), keyed_hot8 (eight workers locking a single
+// stripe's keys one by one — the per-key cost batching exists to beat),
+// and keyed_batch (the same hot-stripe traffic in DoBatch groups of 8;
+// ns/op is per key in both, so batch amortization reads directly as the
+// keyed_batch : keyed_hot8 ratio, ≥2x on the committed baselines). All
+// three are crash-free and inside the zero-allocation gate.
+//
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
 // records GOMAXPROCS alongside every sample.
@@ -54,6 +64,19 @@ type Scenario struct {
 	// Zipf draws keys zipf-distributed (hot-key contention) instead of
 	// uniformly. Keyed scenarios only.
 	Zipf bool
+	// Async drives the table's completion-based pipeline (LockAsync →
+	// receive → Grant.Unlock) instead of the blocking Lock. Keyed
+	// scenarios only.
+	Async bool
+	// HotStripe restricts the key population to a single stripe — the
+	// deliberately-degenerate hot-key shape the batch API amortizes.
+	// Keyed scenarios only.
+	HotStripe bool
+	// Batch, when > 1, groups each worker's passages into DoBatch calls
+	// of this many keys; Iters still counts keys, so ns/op stays per key
+	// and reads directly against the same scenario with Batch == 0.
+	// HotStripe scenarios only.
+	Batch int
 	// Keys is the keyspace size for keyed scenarios.
 	Keys uint64
 	// Shards and ShardPorts are the keyed table's arena dimensions.
@@ -134,8 +157,51 @@ func Scenarios() []Scenario {
 			Shards: 32, ShardPorts: 4,
 			CrashEvery: 4096,
 		},
+		{
+			// The async pipeline under the same zipf traffic as
+			// keyed_zipf: each passage is LockAsync → receive → Unlock,
+			// so the cell prices the dispatcher hop and completion
+			// delivery against the blocking path's numbers.
+			Name: "keyed_async", File: "keyed_async", Keyed: true, Async: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  60_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+		},
+		{
+			// Hot-stripe baseline for the batch cells: eight workers lock
+			// a single stripe's keys one at a time, paying the full
+			// per-acquisition overhead per key.
+			Name: "keyed_hot8", File: "keyed_async", Keyed: true, HotStripe: true,
+			Ports:  func() int { return 8 },
+			Iters:  400_000,
+			Keys:   hotSpan,
+			Shards: 32, ShardPorts: 4,
+		},
+		{
+			// The same hot-stripe traffic, DoBatch-grouped 8 keys at a
+			// time: one lease scan, one queue entry, and one handoff wake
+			// per 8 keys. Read per-key ns/op against keyed_hot8 — the
+			// committed baselines show the ≥2x amortization win the batch
+			// API exists for.
+			Name: "keyed_batch", File: "keyed_async", Keyed: true, HotStripe: true, Batch: 8,
+			Ports:  func() int { return 8 },
+			Iters:  400_000,
+			Keys:   hotSpan,
+			Shards: 32, ShardPorts: 4,
+		},
 	}
 }
+
+// hotSpan is the hot-stripe scenarios' key-population size: large enough
+// that a batch is not one key repeated, small enough to stay hot.
+// hotGroup is the group size both hot cells share — keyed_hot8 locks each
+// group's keys sequentially, keyed_batch locks the group in one DoBatch —
+// so their per-key numbers differ only by the acquisition pipeline.
+const (
+	hotSpan  = 64
+	hotGroup = 8
+)
 
 // StrategyNames returns the strategy axis, in report order.
 func StrategyNames() []string { return []string{"yield", "spin", "spinpark"} }
@@ -183,9 +249,14 @@ type Sample struct {
 	LevelWakesPerOp []float64 `json:"level_wakes_per_op,omitempty"`
 
 	// Keyed runs only: the keyspace size and how many crashes the
-	// deterministic crash mix injected during the measured pass.
+	// deterministic crash mix injected during the measured pass. Async
+	// and Batch make the keyed pipeline cells self-describing: Async
+	// marks LockAsync completion passages, Batch > 1 records the DoBatch
+	// group size (ns/op stays per key).
 	Keys    uint64 `json:"keys,omitempty"`
 	Crashes uint64 `json:"crashes,omitempty"`
+	Async   bool   `json:"async,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
 }
 
 // locker is the common surface of Mutex and TreeMutex the harness drives.
@@ -205,33 +276,18 @@ type locker interface {
 // lock held across a yield, every runnable rival enqueues behind it and
 // the cell measures what it claims to: the strategy's handoff machinery.
 func runPassages(m locker, ports, total int) {
-	var wg sync.WaitGroup
-	per := total / ports
-	extra := total % ports
-	for w := 0; w < ports; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(port, n int) {
-			defer wg.Done()
-			for i := 0; i < n; i++ {
-				m.Lock(port)
-				if ports > 1 {
-					runtime.Gosched() // critical-section work
-				}
-				m.Unlock(port)
-				if ports > 1 {
-					runtime.Gosched() // non-critical-section work
-				}
+	forEachWorker(ports, total, func(port, n int) {
+		for i := 0; i < n; i++ {
+			m.Lock(port)
+			if ports > 1 {
+				runtime.Gosched() // critical-section work
 			}
-		}(w, n)
-	}
-	wg.Wait()
+			m.Unlock(port)
+			if ports > 1 {
+				runtime.Gosched() // non-critical-section work
+			}
+		}
+	})
 }
 
 // RunKeyedPassages drives total keyed Lock/Unlock passages split across
@@ -242,6 +298,130 @@ func runPassages(m locker, ports, total int) {
 // BenchmarkE16KeyedTable measures the exact workload the BENCH_keyed.json
 // gate records.
 func RunKeyedPassages(tbl *rme.LockTable, workers, total int, zipfian bool, keys uint64, crashing bool) {
+	forEachWorker(workers, total, func(w, n int) {
+		nextKey := keyStream(w, zipfian, keys)
+		for i := 0; i < n; i++ {
+			k := nextKey()
+			if crashing {
+				tbl.Do(k, runtime.Gosched) // critical-section work inside
+			} else {
+				tbl.Lock(k)
+				runtime.Gosched() // critical-section work
+				tbl.Unlock(k)
+			}
+			runtime.Gosched() // non-critical-section work
+		}
+	})
+}
+
+// keyStream builds worker w's deterministic key stream: zipf-skewed or
+// uniform over keys, seeded per worker so runs are reproducible.
+func keyStream(w int, zipfian bool, keys uint64) func() uint64 {
+	if zipfian {
+		z := rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), 1.2, 1, keys-1)
+		return z.Uint64
+	}
+	r := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
+	return func() uint64 { return r.Uint64() % keys }
+}
+
+// RunAsyncKeyedPassages drives total completion-based passages split
+// across workers goroutines: each passage submits with LockAsync,
+// receives its Grant, does the critical-section work, and releases
+// through the grant. Key streams match RunKeyedPassages, so the async
+// cells read directly against the blocking ones.
+func RunAsyncKeyedPassages(tbl *rme.LockTable, workers, total int, zipfian bool, keys uint64) {
+	forEachWorker(workers, total, func(w, n int) {
+		nextKey := keyStream(w, zipfian, keys)
+		for i := 0; i < n; i++ {
+			g := <-tbl.LockAsync(nextKey())
+			runtime.Gosched() // critical-section work
+			g.Unlock()
+			runtime.Gosched() // non-critical-section work
+		}
+	})
+}
+
+// hotStripeKeys returns span distinct keys that all map to tbl's stripe
+// 0 — the single-stripe population of the hot-key scenarios.
+func hotStripeKeys(tbl *rme.LockTable, span int) []uint64 {
+	out := make([]uint64, 0, span)
+	for k := uint64(1); len(out) < span; k++ {
+		if tbl.ShardIndex(k) == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// RunHotKeyedPassages drives total single-stripe passages split across
+// workers goroutines, in groups of group keys. With batch false each
+// group's keys are locked and released one by one — the "b sequential
+// Lock calls" shape whose per-key overhead batching exists to beat; with
+// batch true each group is one DoBatch. Everything else is identical:
+// empty critical sections (the cells price acquisition overhead, not CS
+// work) and one scheduler yield per group, so per-key ns/op between the
+// two shapes reads directly as the batch amortization factor.
+func RunHotKeyedPassages(tbl *rme.LockTable, workers, total, group int, batch bool, span uint64) {
+	keys := hotStripeKeys(tbl, int(span))
+	forEachWorker(workers, total, func(w, n int) {
+		r := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
+		buf := make([]uint64, group)
+		for i := 0; i < n; i += group {
+			m := group
+			if rem := n - i; rem < m {
+				m = rem
+			}
+			for j := 0; j < m; j++ {
+				buf[j] = keys[r.Uint64()%span]
+			}
+			if batch {
+				tbl.DoBatch(buf[:m], nopPerKey)
+			} else {
+				for _, k := range buf[:m] {
+					tbl.Lock(k)
+					tbl.Unlock(k)
+				}
+			}
+			runtime.Gosched() // inter-group work
+		}
+	})
+}
+
+// nopPerKey is the batch runner's empty per-key critical section.
+func nopPerKey(uint64) {}
+
+// runKeyed dispatches a keyed workload to the runner its scenario shape
+// selects; warm-up and measured passes go through the same path.
+func runKeyed(tbl *rme.LockTable, sc Scenario, total int, crashing bool) {
+	switch {
+	case sc.Async:
+		if crashing {
+			// The async/hot runners carry no crash-absorbing supervisor;
+			// an injected Crash would escape a worker goroutine and abort
+			// the process. Refuse the combination instead of aborting
+			// confusingly at the first injection.
+			panic(fmt.Sprintf("rtbench: scenario %s combines Async with CrashEvery", sc.Name))
+		}
+		RunAsyncKeyedPassages(tbl, sc.Ports(), total, sc.Zipf, sc.Keys)
+	case sc.HotStripe:
+		if crashing {
+			panic(fmt.Sprintf("rtbench: scenario %s combines HotStripe with CrashEvery", sc.Name))
+		}
+		group := sc.Batch
+		if group <= 1 {
+			group = hotGroup
+		}
+		RunHotKeyedPassages(tbl, sc.Ports(), total, group, sc.Batch > 1, sc.Keys)
+	default:
+		RunKeyedPassages(tbl, sc.Ports(), total, sc.Zipf, sc.Keys, crashing)
+	}
+}
+
+// forEachWorker splits total passages over workers goroutines (the
+// remainder spread one-per-worker), runs body(w, n) on each with its
+// share, and waits — the fan-out scaffolding every keyed runner shares.
+func forEachWorker(workers, total int, body func(w, n int)) {
 	var wg sync.WaitGroup
 	per := total / workers
 	extra := total % workers
@@ -256,25 +436,7 @@ func RunKeyedPassages(tbl *rme.LockTable, workers, total int, zipfian bool, keys
 		wg.Add(1)
 		go func(w, n int) {
 			defer wg.Done()
-			var nextKey func() uint64
-			if zipfian {
-				z := rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), 1.2, 1, keys-1)
-				nextKey = z.Uint64
-			} else {
-				r := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
-				nextKey = func() uint64 { return r.Uint64() % keys }
-			}
-			for i := 0; i < n; i++ {
-				k := nextKey()
-				if crashing {
-					tbl.Do(k, runtime.Gosched) // critical-section work inside
-				} else {
-					tbl.Lock(k)
-					runtime.Gosched() // critical-section work
-					tbl.Unlock(k)
-				}
-				runtime.Gosched() // non-critical-section work
-			}
+			body(w, n)
 		}(w, n)
 	}
 	wg.Wait()
@@ -320,7 +482,7 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		warm = 8 * ports
 	}
 	if tbl != nil {
-		RunKeyedPassages(tbl, ports, warm, sc.Zipf, sc.Keys, false)
+		runKeyed(tbl, sc, warm, false)
 	} else {
 		runPassages(lk, ports, warm)
 	}
@@ -347,7 +509,7 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	if tbl != nil {
-		RunKeyedPassages(tbl, ports, sc.Iters, sc.Zipf, sc.Keys, sc.CrashEvery > 0)
+		runKeyed(tbl, sc, sc.Iters, sc.CrashEvery > 0)
 	} else {
 		runPassages(lk, ports, sc.Iters)
 	}
@@ -373,6 +535,9 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 	if tbl != nil {
 		s.Keys = sc.Keys
 		s.Crashes = crashCount.Load()
+		s.Async = sc.Async
+		s.Batch = sc.Batch
+		tbl.Close() // stop the cell's dispatchers before the next cell runs
 	}
 	if tm != nil {
 		s.Levels = tm.Levels()

@@ -2,9 +2,10 @@ package rme
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/rmelib/rme/internal/wait"
 )
 
 // The paper's model gives every process a fixed identity for life; the
@@ -92,14 +93,38 @@ type PortLeaser struct {
 	// clock rotates the scan start so independent acquirers don't all
 	// hammer port 0's word.
 	clock atomic.Uint64
+	// strat is how blocked acquirers pass the time; chain is the engine's
+	// multi-waiter list they park on, one wake handed out per port freed.
+	strat wait.Strategy
+	chain wait.Chain
+	// freeCond is anyFree bound once at construction, so the Acquire slow
+	// path does not allocate a method-value closure per wait.
+	freeCond func() bool
 }
 
 // NewPortLeaser creates a leaser for ports identities, all initially free.
-func NewPortLeaser(ports int) *PortLeaser {
+// Options select how blocked acquirers wait (WithWaitStrategy); a leaser
+// paired with a lock should use the lock's strategy, as NewLockTable does
+// for its shards. Other options are ignored.
+func NewPortLeaser(ports int, opts ...Option) *PortLeaser {
 	if ports <= 0 {
 		panic("rme: NewPortLeaser needs at least one port")
 	}
-	return &PortLeaser{words: make([]paddedUint64, ports)}
+	cfg := buildConfig(opts)
+	p := &PortLeaser{words: make([]paddedUint64, ports), strat: cfg.strat}
+	p.freeCond = p.anyFree
+	return p
+}
+
+// anyFree reports whether some port is currently free — the wake-up
+// condition blocked acquirers re-check against the register/release race.
+func (p *PortLeaser) anyFree() bool {
+	for i := range p.words {
+		if p.words[i].Load()&leaseStateMask == leaseFree {
+			return true
+		}
+	}
+	return false
 }
 
 // Ports returns the number of identities the leaser manages.
@@ -131,17 +156,20 @@ func (p *PortLeaser) TryAcquire() (l PortLease, ok bool) {
 }
 
 // Acquire claims a free port, waiting for one to be released (or
-// reclaimed) if all are currently leased. The wait yields to the scheduler
-// between scans; it allocates nothing. Liveness depends on orphans being
-// reclaimed: if every port is orphaned and nobody sweeps, Acquire spins
-// forever — run ReclaimOrphans from the same supervisor that observes
-// worker deaths.
+// reclaimed) if all are currently leased. Blocked acquirers park on the
+// wait engine's multi-waiter chain under the leaser's wait strategy —
+// every Release (and every port a reclaim sweep frees) hands out exactly
+// one wake — so a queue of acquirers costs wakes, not burned scheduler
+// quanta. The wait allocates nothing once the chain's node free list is
+// warm. Liveness depends on orphans being reclaimed: if every port is
+// orphaned and nobody sweeps, Acquire parks forever — run ReclaimOrphans
+// from the same supervisor that observes worker deaths.
 func (p *PortLeaser) Acquire() PortLease {
 	for {
 		if l, ok := p.TryAcquire(); ok {
 			return l
 		}
-		runtime.Gosched()
+		p.chain.Wait(p.strat, p.freeCond)
 	}
 }
 
@@ -154,6 +182,7 @@ func (p *PortLeaser) Release(l PortLease) {
 		panic(fmt.Sprintf("rme: Release of stale lease (port %d, epoch %d, word now %s/%d)",
 			l.Port, l.epoch, p.State(l.Port), p.epochOf(l.Port)))
 	}
+	p.chain.Wake() // one port freed: hand one parked acquirer its wake
 }
 
 // Orphan marks a held port's lessee as dead, scheduling the port for a
@@ -252,22 +281,18 @@ func (p *PortLeaser) InUse() int {
 // and must not panic — retry injected crashes internally (LockTable's
 // sweep shows the pattern).
 //
+// The same claim-everything-first discipline must extend across pools
+// when a sweep spans several (one tenancy can die holding several pools'
+// ports — a LockTable batch — and their recoveries can depend on each
+// other through the locks' queues); that is why LockTable.ReclaimWith
+// drives the split claimOrphans/finishReclaim phases directly instead of
+// calling this per shard.
+//
 // Ports orphaned after the sweep's claim pass are left for the next sweep;
 // concurrent sweeps never claim the same port (the claim is a CAS on the
 // epoch-stamped word).
 func (p *PortLeaser) ReclaimOrphans(recoverPort func(port int)) int {
-	var claimed []PortLease
-	for port := range p.words {
-		w := p.words[port].Load()
-		if w&leaseStateMask != leaseOrphaned {
-			continue
-		}
-		epoch := w >> leaseEpochShift
-		l := PortLease{Port: port, epoch: epoch}
-		if p.transition(l, leaseOrphaned, leaseReclaiming) {
-			claimed = append(claimed, l)
-		}
-	}
+	claimed := p.claimOrphans(nil)
 	if len(claimed) == 0 {
 		return 0
 	}
@@ -277,11 +302,35 @@ func (p *PortLeaser) ReclaimOrphans(recoverPort func(port int)) int {
 		go func(l PortLease) {
 			defer wg.Done()
 			recoverPort(l.Port)
-			if !p.transition(l, leaseReclaiming, leaseFree) {
-				panic(fmt.Sprintf("rme: reclaimed lease moved under the sweep (port %d)", l.Port))
-			}
+			p.finishReclaim(l)
 		}(l)
 	}
 	wg.Wait()
 	return len(claimed)
+}
+
+// claimOrphans is the claim phase of a reclaim sweep: every orphan whose
+// orphaned→reclaiming CAS this caller wins is appended to dst. The caller
+// owes each claimed lease a recovery followed by finishReclaim.
+func (p *PortLeaser) claimOrphans(dst []PortLease) []PortLease {
+	for port := range p.words {
+		w := p.words[port].Load()
+		if w&leaseStateMask != leaseOrphaned {
+			continue
+		}
+		l := PortLease{Port: port, epoch: w >> leaseEpochShift}
+		if p.transition(l, leaseOrphaned, leaseReclaiming) {
+			dst = append(dst, l)
+		}
+	}
+	return dst
+}
+
+// finishReclaim returns a claimed, fully-recovered orphan to the free
+// pool and hands a parked acquirer its wake.
+func (p *PortLeaser) finishReclaim(l PortLease) {
+	if !p.transition(l, leaseReclaiming, leaseFree) {
+		panic(fmt.Sprintf("rme: reclaimed lease moved under the sweep (port %d)", l.Port))
+	}
+	p.chain.Wake()
 }

@@ -2,8 +2,10 @@ package rme
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"github.com/rmelib/rme/internal/wait"
 	"github.com/rmelib/rme/internal/xrand"
 )
 
@@ -57,6 +59,20 @@ type LockTable struct {
 	shards []lockShard
 	seed   uint64
 	ports  int
+
+	// strat and dispSpin configure the async dispatchers (see
+	// locktable_async.go): the wait strategy their idle parks and lease
+	// waits run under, and how many scheduler yields a dispatcher burns
+	// polling its inbox before parking.
+	strat    wait.Strategy
+	dispSpin int
+
+	// freeMu guards the recycled Batch free list (request nodes recycle
+	// through per-shard lists — see lockShard — so the async hot path
+	// never crosses a table-wide lock).
+	freeMu    sync.Mutex
+	batchFree *Batch
+	closed    atomic.Bool
 }
 
 // lockShard is one stripe: a k-ported recoverable mutex, the lease pool
@@ -69,6 +85,13 @@ type lockShard struct {
 	// lease acquisition and the port's Lock, read by Held/Unlock scans.
 	// Only meaningful while the port's lease is not free.
 	key []atomic.Uint64
+	// disp is the stripe's async acquisition dispatcher (lazily started;
+	// see locktable_async.go); reqMu/reqFree are its recycled request
+	// nodes, per shard so independent stripes' pipelines do not contend
+	// on one table-wide free list.
+	disp    dispatcher
+	reqMu   sync.Mutex
+	reqFree *asyncReq
 }
 
 // tableSeedClock differentiates the default seeds of successive tables.
@@ -96,16 +119,22 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 		seed = xrand.Mix64(tableSeedClock.Add(1) * 0x9e3779b97f4a7c15)
 	}
 	t := &LockTable{
-		shards: make([]lockShard, shards),
-		seed:   seed,
-		ports:  ports,
+		shards:   make([]lockShard, shards),
+		seed:     seed,
+		ports:    ports,
+		strat:    cfg.strat,
+		dispSpin: cfg.dispSpin,
 	}
 	for i := range t.shards {
 		t.shards[i] = lockShard{
 			m:    New(ports, opts...),
-			pool: NewPortLeaser(ports),
+			pool: NewPortLeaser(ports, opts...),
 			key:  make([]atomic.Uint64, ports),
 		}
+	}
+	for i := 0; i < cfg.asyncPrewarm; i++ {
+		// Round-robin the prewarmed nodes over the shards' free lists.
+		t.shards[i%shards].putReq(&asyncReq{ch: make(chan Grant, 1)})
 	}
 	return t
 }
@@ -116,13 +145,28 @@ func (t *LockTable) Shards() int { return len(t.shards) }
 // Ports returns the per-shard port count.
 func (t *LockTable) Ports() int { return t.ports }
 
-// ShardIndex returns the stripe key maps to. Two keys with equal
-// ShardIndex share one lock; a goroutine acquiring several keys at once
-// must sort them by ShardIndex and lock at most one key per stripe (see
-// the striping notes in the type's documentation).
+// ShardIndex returns the stripe key maps to, computed as the seeded
+// splitmix64 finalizer of key XOR the table's seed, reduced mod Shards().
+// The contract this implies, stated here because multi-key code builds on
+// it directly:
+//
+//   - Collisions are deliberate and benign for safety: any two keys with
+//     equal ShardIndex share one lock, so colliding keys exclude each
+//     other — exclusion can only get coarser, never unsound. But they are
+//     load-bearing for liveness: a goroutine that tries to hold two
+//     same-stripe keys at once deadlocks against itself (the self-deadlock
+//     documented on Do applies to every acquisition path, Lock and
+//     LockAsync included, because the hazard is created here, by the
+//     hash, not by any particular entry point).
+//   - The key-to-stripe map is an arbitrary full-avalanche permutation:
+//     nothing about the order of two keys survives into the order of
+//     their stripes. Multi-key acquisition ordered by key value therefore
+//     does NOT prevent ABBA deadlock; order by ShardIndex (as LockBatch
+//     does internally), locking at most one key per stripe.
+//   - The map is pure per table: fixed by (seed, Shards()) alone, stable
+//     for the table's lifetime, and reproducible across runs only when
+//     WithTableSeed pinned the seed.
 func (t *LockTable) ShardIndex(key uint64) int {
-	// The seeded full-avalanche mix spreads sequential and clustered keys
-	// over the shards.
 	return int(xrand.Mix64(key^t.seed) % uint64(len(t.shards)))
 }
 
@@ -131,7 +175,14 @@ func (t *LockTable) shardOf(key uint64) *lockShard {
 }
 
 // hashString folds a string key to 64 bits (FNV-1a); the result feeds the
-// same seeded shard mixer as native uint64 keys.
+// same seeded shard mixer as native uint64 keys, so every *String method
+// is exactly its uint64 twin applied to this digest. Two consequences
+// worth stating explicitly: a full 64-bit collision between two strings
+// aliases them to one key (they then share not just a stripe but Held
+// identity — coarser exclusion, never unsound), and the same-stripe
+// self-deadlock rule documented on ShardIndex and Do applies to string
+// keys through their digests — "different strings" is no defense, only
+// different ShardIndex values are.
 func hashString(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
@@ -252,16 +303,23 @@ func (t *LockTable) Orphans() int {
 	return n
 }
 
+// InUse counts tenancies across all shards — ports held, orphaned, or
+// mid-reclaim — the table-level form of PortLeaser.InUse, with the same
+// racy-snapshot caveat. A batch contributes one tenancy per distinct
+// stripe it holds.
+func (t *LockTable) InUse() int {
+	n := 0
+	for i := range t.shards {
+		n += t.shards[i].pool.InUse()
+	}
+	return n
+}
+
 // Quiesced reports whether every port of every shard is free — no live
 // tenancies, no orphans awaiting recovery. Like all inspection methods it
 // is a racy snapshot; it is exact once workers have stopped.
 func (t *LockTable) Quiesced() bool {
-	for i := range t.shards {
-		if t.shards[i].pool.InUse() != 0 {
-			return false
-		}
-	}
-	return true
+	return t.InUse() == 0
 }
 
 // Reclaim is ReclaimWith(nil).
@@ -274,24 +332,50 @@ func (t *LockTable) Reclaim() int { return t.ReclaimWith(nil) }
 // pool. Injected crashes during the recovery itself are retried until the
 // port is clean. It returns the number of ports reclaimed.
 //
+// The sweep claims every shard's orphans before recovering any, then runs
+// all recoveries in parallel, one goroutine each. Both halves of that
+// discipline are load-bearing: orphans can be queued behind each other's
+// dead nodes within a stripe (so serial recovery can deadlock), and a
+// batch tenancy dies holding several stripes whose recoveries depend on
+// each other through live waiters' hold-and-wait chains (so a sweep that
+// finished one shard before claiming the next could block forever on a
+// stripe whose drain needs a later shard's orphan recovered first).
+//
 // If fn is non-nil it is called for each orphan before its recovery runs,
-// with the key the dead tenancy was locking and whether the death was
-// inside the critical section — the hook for application-level redo/undo
-// of the resource the key names. Calls are made concurrently (the sweep
-// recovers orphans in parallel; see PortLeaser.ReclaimOrphans for why
-// serial recovery could deadlock), on the sweep's recovery goroutines:
-// fn must be safe for concurrent use and must not panic — a panic there
-// escapes on a goroutine the caller cannot recover from and aborts the
-// process with the port still mid-reclaim.
+// with the key the dead tenancy was locking (a batch tenancy reports its
+// stripe's representative key) and whether the death was inside the
+// critical section — the hook for application-level redo/undo of the
+// resource the key names. Calls are made on the sweep's concurrent
+// recovery goroutines: fn must be safe for concurrent use and must not
+// panic — a panic there escapes on a goroutine the caller cannot recover
+// from and aborts the process with the port still mid-reclaim.
 //
 // Run a sweep whenever a worker death is observed — e.g. from the
 // supervisor that caught the Crash panic. An unreclaimed orphan can stall
 // every key of its stripe.
 func (t *LockTable) ReclaimWith(fn func(key uint64, inCS bool)) int {
-	total := 0
+	type claim struct {
+		sh *lockShard
+		l  PortLease
+	}
+	var claims []claim
+	var scratch []PortLease
 	for i := range t.shards {
 		sh := &t.shards[i]
-		total += sh.pool.ReclaimOrphans(func(port int) {
+		scratch = sh.pool.claimOrphans(scratch[:0])
+		for _, l := range scratch {
+			claims = append(claims, claim{sh: sh, l: l})
+		}
+	}
+	if len(claims) == 0 {
+		return 0
+	}
+	var wg sync.WaitGroup
+	for _, c := range claims {
+		wg.Add(1)
+		go func(c claim) {
+			defer wg.Done()
+			sh, port := c.sh, c.l.Port
 			if fn != nil {
 				fn(sh.key[port].Load(), sh.m.Held(port))
 			}
@@ -304,12 +388,14 @@ func (t *LockTable) ReclaimWith(fn func(key uint64, inCS bool)) int {
 					continue
 				}
 				if !crashes(func() { sh.m.Unlock(port) }) {
-					return
+					break
 				}
 			}
-		})
+			sh.pool.finishReclaim(c.l)
+		}(c)
 	}
-	return total
+	wg.Wait()
+	return len(claims)
 }
 
 // Do runs fn while holding key's lock, surviving worker deaths in the
@@ -325,6 +411,16 @@ func (t *LockTable) ReclaimWith(fn func(key uint64, inCS bool)) int {
 // death inside the critical section is an application-recovery problem
 // (the resource may be torn) that blanket retry would paper over — model
 // that with the lower-level API and ReclaimWith instead.
+//
+// fn runs while holding key's stripe, so the striping rules apply inside
+// it: nesting Do (or Lock) on a key of the same stripe self-deadlocks,
+// while nesting on distinct stripes is safe only when every goroutine
+// nests in ascending ShardIndex order. fn may call Reclaim — the sweep
+// claims only orphaned ports, never fn's live tenancy — provided no
+// orphan can be queued on fn's own stripe: the sweep waits for each
+// orphan's recovery Lock to finish, and a recovery queued behind fn's
+// held stripe cannot finish until fn returns. Sweep other stripes' deaths
+// from inside; sweep your own stripe's only from outside the lock.
 func (t *LockTable) Do(key uint64, fn func()) {
 	for crashes(func() { t.Lock(key) }) {
 		t.Reclaim()

@@ -1,0 +1,351 @@
+package rme
+
+import (
+	"sync/atomic"
+
+	"github.com/rmelib/rme/internal/wait"
+)
+
+// This file is the asynchronous half of the keyed lock service: completion
+// -based acquisition (LockAsync / LockAsyncFunc) through a per-shard
+// dispatcher, so callers enqueue and move on instead of parking a
+// goroutine for the whole queue wait.
+//
+// # Why a dispatcher
+//
+// The synchronous Lock burns one blocked goroutine per waiting key — fine
+// for tens of waiters, hostile at service scale where a hot stripe can
+// have thousands of requests in flight. The dispatcher inverts that: each
+// stripe has (at most) one goroutine engaged with the lock protocol at a
+// time, working through a lock-free inbox of requests in FIFO order and
+// completing each by handing its Grant to the requester. The thousands of
+// in-flight requests cost one inbox node each, not one goroutine stack
+// each; the stripe's queue wait is paid by the dispatcher alone, parked on
+// the same wait engine as every other wait in the stack.
+//
+// # Grant ownership
+//
+// A Grant is the stripe tenancy itself, and exactly one party owns it at
+// any moment: the dispatcher until it delivers, then the channel buffer
+// (or callback invocation), then whoever received it. The owner must
+// eventually call Grant.Unlock (release the key) or Grant.Abandon (mark
+// the tenancy orphaned for the next reclaim sweep — the move for a
+// supervisor holding a grant whose intended consumer died). A grant parked
+// in an unreceived channel still holds its stripe: the request is not
+// cancellable, exactly as a synchronous Lock already past its enqueue is
+// not.
+//
+// # Crash semantics
+//
+// Worker deaths keep their meaning under async acquisition:
+//
+//   - A crash injected while the dispatcher runs the lock protocol orphans
+//     the lease (the same OrphanOnCrash guard as the synchronous path),
+//     and the dispatcher — infrastructure, not a modeled process — absorbs
+//     the Crash panic, sweeps, and retries, so the request is eventually
+//     granted. This mirrors Do's reclaim-and-retry supervisor.
+//   - A callback (LockAsyncFunc fn) that dies with a Crash panic orphans
+//     its tenancy in place; the dispatcher absorbs the panic and keeps
+//     serving. The orphan surfaces through Orphans() and is recovered by
+//     the next Reclaim, exactly like a synchronous holder's death.
+//   - A requester that dies before receiving leaves the Grant in the
+//     channel — not lost: its supervisor drains the channel and calls
+//     Abandon (or Unlock), routing the tenancy into the ordinary orphan
+//     machinery.
+
+// Grant is a completed asynchronous acquisition: the holder's capability
+// for one key tenancy. The zero Grant is invalid; grants are delivered by
+// LockAsync channels and LockAsyncFunc callbacks. A Grant must be settled
+// exactly once, with Unlock or Abandon.
+type Grant struct {
+	sh  *lockShard
+	key uint64
+	l   PortLease
+	req *asyncReq // recycled on settle; nil for callback-delivered grants
+}
+
+// Key returns the key this grant holds.
+func (g Grant) Key() uint64 { return g.key }
+
+// Unlock releases the granted key, like LockTable.Unlock on a
+// synchronously acquired key. If the calling goroutine dies inside the
+// release (a Crash panic), the tenancy is orphaned in its last breath and
+// the panic propagates to the caller's supervisor, whose reclaim sweep
+// completes the release.
+func (g Grant) Unlock() {
+	g.sh.unlockPort(g.l)
+	g.sh.pool.Release(g.l)
+	if g.req != nil {
+		g.sh.putReq(g.req)
+	}
+}
+
+// Abandon marks the grant's tenancy orphaned without releasing it — the
+// supervisor's move when the intended grantee died after delivery but
+// before taking ownership (e.g. a worker that crashed between LockAsync
+// and the channel receive; its supervisor drains the channel and abandons
+// the grant). The orphan surfaces through Orphans() and the next reclaim
+// sweep recovers the stripe. Abandon, like Unlock, settles the grant:
+// using it afterwards is a stale-lease panic.
+func (g Grant) Abandon() {
+	g.sh.pool.Orphan(g.l)
+	if g.req != nil {
+		g.sh.putReq(g.req)
+	}
+}
+
+// asyncReq is one queued acquisition: an intrusive inbox node plus the
+// completion (channel or callback). Nodes are recycled through the
+// table's free list; each node's channel is created once and reused, so a
+// warm async passage allocates nothing.
+type asyncReq struct {
+	key  uint64
+	ch   chan Grant  // cap 1; owned by the request until the grant is settled
+	fn   func(Grant) // callback variant; nil for the channel variant
+	next *asyncReq   // inbox / free-list link
+}
+
+// dispatcher is one stripe's async service state.
+type dispatcher struct {
+	// inbox is a lock-free LIFO of submitted requests (reversed to FIFO by
+	// the dispatcher when it drains).
+	inbox atomic.Pointer[asyncReq]
+	// cell is where the dispatcher parks between request bursts. Idle
+	// parking always uses a spin-then-park strategy — never the table's
+	// worker-side strategy — because an idle dispatcher must cost a
+	// parked goroutine, not a busy-yield loop, no matter how the workers
+	// choose to wait; WithDispatcherSpin sets the spin budget in front of
+	// the park.
+	cell      wait.Cell
+	parkStrat wait.Strategy
+	// started flips once, when the first request spawns the goroutine.
+	started atomic.Bool
+	// pollCond is the park condition, bound once at start so idle parking
+	// does not allocate a closure per episode.
+	pollCond func() bool
+}
+
+// LockAsync enqueues an acquisition of key and returns immediately; the
+// Grant is delivered on the returned channel (capacity 1, so delivery
+// never blocks the stripe's dispatcher) once the key's stripe is handed
+// over. Requests on one stripe are granted in LockAsync call order as
+// observed per submitting goroutine.
+//
+// The receiver owns the grant and must settle it (Grant.Unlock or
+// Grant.Abandon); the channel is recycled at settle time and must not be
+// received from again. Do not wait for a grant while holding another key
+// of this table unless the waits are ordered by ShardIndex with at most
+// one key per stripe — a grant request is a lock acquisition, and both
+// the same-stripe self-deadlock and the ABBA rules on ShardIndex apply to
+// it unchanged.
+//
+// Crash-free async passages allocate nothing once the request free list
+// and the shard's node pools are warm (WithAsyncPrewarm warms the former
+// at construction).
+func (t *LockTable) LockAsync(key uint64) <-chan Grant {
+	sh := t.shardOf(key)
+	r := sh.getReq()
+	r.key = key
+	r.fn = nil
+	t.submit(sh, r)
+	return r.ch
+}
+
+// LockAsyncString is LockAsync for a string key.
+func (t *LockTable) LockAsyncString(key string) <-chan Grant {
+	return t.LockAsync(hashString(key))
+}
+
+// LockAsyncFunc enqueues an acquisition of key and returns immediately;
+// fn is called with the Grant once the stripe is handed over. fn runs on
+// the stripe's dispatcher goroutine, so it serializes the stripe's grant
+// pipeline: keep it short, and never block it on another grant of the
+// same stripe (self-deadlock: the dispatcher that would deliver that
+// grant is the goroutine being blocked).
+//
+// fn owns the grant and must settle it (Unlock/Abandon) before
+// returning. If fn panics with an injected Crash while still owning it,
+// the tenancy is orphaned (surfacing via Orphans(), recovered by the
+// next sweep) and the dispatcher absorbs the panic and keeps serving — a
+// worker death must not take the stripe's service down with it. Any
+// other panic is a bug and propagates, crashing the dispatcher loudly.
+//
+// Do NOT hand the grant from fn to another goroutine: died-holding is
+// judged by the lease word alone, so a Crash panic out of fn after a
+// hand-off would orphan the recipient's live tenancy and a subsequent
+// sweep would re-enter a critical section that is still occupied.
+// Workflows that move grants between goroutines must use LockAsync,
+// whose channel is exactly that hand-off.
+func (t *LockTable) LockAsyncFunc(key uint64, fn func(Grant)) {
+	if fn == nil {
+		panic("rme: LockAsyncFunc with nil callback")
+	}
+	sh := t.shardOf(key)
+	r := sh.getReq()
+	r.key = key
+	r.fn = fn
+	t.submit(sh, r)
+}
+
+// submit pushes r onto its stripe's inbox and pokes the dispatcher.
+func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
+	if t.closed.Load() {
+		panic("rme: async acquisition on a closed LockTable")
+	}
+	d := &sh.disp
+	for {
+		h := d.inbox.Load()
+		r.next = h
+		if d.inbox.CompareAndSwap(h, r) {
+			break
+		}
+	}
+	if !d.started.Load() && d.started.CompareAndSwap(false, true) {
+		d.pollCond = func() bool { return d.inbox.Load() != nil || t.closed.Load() }
+		d.parkStrat = wait.SpinThenPark(t.dispSpin)
+		go t.dispatch(sh)
+	}
+	d.cell.Wake()
+}
+
+// Close shuts the table's async dispatchers down: subsequent LockAsync /
+// LockAsyncFunc / batch calls panic, dispatchers drain their inboxes and
+// exit. Synchronous Lock/Unlock and reclaim sweeps are unaffected, and
+// outstanding grants stay valid — Close stops intake, it does not revoke
+// tenancies. Close is idempotent; it must not race in-flight async
+// submissions (quiesce submitters first, as with closing a channel).
+//
+// Close does not interrupt in-flight deliveries: a dispatcher exits
+// after completing the requests it already holds, so its goroutine only
+// winds down if the stripe's outstanding tenancies eventually settle (or
+// a sweep reclaims their orphans). That is the same liveness assumption
+// every waiter in the table lives under — a stripe whose holders neither
+// release nor get reclaimed stalls synchronous callers just the same.
+func (t *LockTable) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	for i := range t.shards {
+		t.shards[i].disp.cell.Wake()
+	}
+}
+
+// dispatch is one stripe's dispatcher loop: drain the inbox in FIFO
+// order, acquire each request's tenancy, deliver its grant. The goroutine
+// parks on the dispatcher cell when idle and exits only on Close.
+func (t *LockTable) dispatch(sh *lockShard) {
+	d := &sh.disp
+	for {
+		head := d.inbox.Swap(nil)
+		if head == nil {
+			if t.closed.Load() {
+				return
+			}
+			// Spin-then-park: a loaded pipeline usually has the next
+			// burst's wake in flight, and catching it in the spin phase
+			// skips the park/unpark round trip (WithDispatcherSpin sizes
+			// that budget); a genuinely idle stripe ends up parked on the
+			// cell's channel, costing nothing.
+			d.cell.Await(d.parkStrat, d.pollCond)
+			continue
+		}
+		// The inbox is push-LIFO; reverse the drained burst to FIFO so
+		// grants go out in submission order.
+		var fifo *asyncReq
+		for head != nil {
+			next := head.next
+			head.next = fifo
+			fifo = head
+			head = next
+		}
+		for fifo != nil {
+			r := fifo
+			fifo = r.next
+			r.next = nil
+			t.deliver(sh, r)
+		}
+	}
+}
+
+// deliver acquires r's tenancy and completes the request. Injected
+// crashes during the acquisition orphan the lease (the worker died) and
+// are absorbed with a reclaim-and-retry, Do-style: the dispatcher is
+// infrastructure and must outlive any number of modeled deaths.
+func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
+	var l PortLease
+	for {
+		crashed := crashes(func() {
+			l = sh.pool.Acquire()
+			sh.key[l.Port].Store(r.key)
+			sh.lockPort(l)
+		})
+		if !crashed {
+			break
+		}
+		t.Reclaim()
+	}
+	g := Grant{sh: sh, key: r.key, l: l, req: r}
+	if fn := r.fn; fn != nil {
+		// Callback delivery: the request node is done (its channel was
+		// never involved) — recycle it before fn runs, since fn may never
+		// return control of g to us.
+		r.fn = nil
+		g.req = nil
+		sh.putReq(r)
+		t.runCallback(g, fn)
+		return
+	}
+	// Channel delivery. Cap-1 and necessarily empty: the node is recycled
+	// only after its previous grant was received and settled.
+	r.ch <- g
+}
+
+// runCallback invokes a grant callback under the dispatcher's crash
+// guard (split out so the defer is open-coded).
+func (t *LockTable) runCallback(g Grant, fn func(Grant)) {
+	defer t.callbackGuard(g)
+	fn(g)
+}
+
+// callbackGuard converts a callback's Crash panic into an orphaned
+// tenancy and absorbs it; see LockAsyncFunc. If the callback had already
+// settled the grant when it died, there is no tenancy left to mark and
+// the death needs no bookkeeping at all.
+func (t *LockTable) callbackGuard(g Grant) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if _, ok := AsCrash(r); !ok {
+		panic(r)
+	}
+	// Best-effort orphan: the CAS fails harmlessly if fn already settled
+	// the grant (released, abandoned, or a later tenancy moved the word).
+	g.sh.pool.transition(g.l, leaseHeld, leaseOrphaned)
+}
+
+// getReq pops a recycled request node from the shard's free list, or
+// builds a fresh one (its grant channel is created here, once, and
+// reused for every later request the node carries).
+func (sh *lockShard) getReq() *asyncReq {
+	sh.reqMu.Lock()
+	r := sh.reqFree
+	if r != nil {
+		sh.reqFree = r.next
+		r.next = nil
+	}
+	sh.reqMu.Unlock()
+	if r == nil {
+		r = &asyncReq{ch: make(chan Grant, 1)}
+	}
+	return r
+}
+
+// putReq recycles a settled request node onto the shard's free list.
+func (sh *lockShard) putReq(r *asyncReq) {
+	r.fn = nil
+	sh.reqMu.Lock()
+	r.next = sh.reqFree
+	sh.reqFree = r
+	sh.reqMu.Unlock()
+}

@@ -42,11 +42,13 @@ func SpinParkWaitStrategy(spinRounds int) WaitStrategy { return wait.SpinThenPar
 type Option func(*config)
 
 type config struct {
-	strat     wait.Strategy
-	pool      bool
-	treeStats bool
-	seed      uint64
-	seedSet   bool
+	strat        wait.Strategy
+	pool         bool
+	treeStats    bool
+	seed         uint64
+	seedSet      bool
+	dispSpin     int
+	asyncPrewarm int
 }
 
 func buildConfig(opts []Option) config {
@@ -86,6 +88,33 @@ func WithTableSeed(seed uint64) Option {
 	return func(c *config) {
 		c.seed = seed
 		c.seedSet = true
+	}
+}
+
+// WithDispatcherSpin sets how many backoff rounds a LockTable's per-shard
+// async dispatcher spins for the next submission after draining its inbox
+// before parking on its channel. Idle dispatchers always end at a real
+// park — never a yield loop — whatever the table's worker-side wait
+// strategy; this knob only sizes the spin window that lets a loaded
+// pipeline catch the next burst's wake without paying the park/unpark
+// round trip. Values <= 0 select the engine's small default. New and
+// NewTree ignore the option.
+func WithDispatcherSpin(rounds int) Option {
+	return func(c *config) { c.dispSpin = rounds }
+}
+
+// WithAsyncPrewarm pre-builds n async request nodes (each owning its
+// reusable grant channel) on the table's free list at construction, so
+// even the first LockAsync calls allocate nothing — for callers that pin
+// allocation budgets from the first request rather than steady state.
+// The steady-state behavior is unaffected: nodes are recycled and the
+// free list grows to the in-flight high-water mark either way. New and
+// NewTree ignore the option.
+func WithAsyncPrewarm(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.asyncPrewarm = n
+		}
 	}
 }
 
