@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	rme "github.com/rmelib/rme"
 	"github.com/rmelib/rme/internal/experiments"
 	"github.com/rmelib/rme/internal/rtbench"
 )
@@ -32,7 +33,8 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only this scenario (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_async, keyed_hot8, keyed_batch)")
+		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_async, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree); scenarios sharing a BENCH file should be regenerated together")
+		backend  = flag.String("backend", "", "with -json: force every keyed scenario onto this shard backend (flat, tree, auto) instead of each scenario's own — for ad-hoc backend comparisons; leave unset when regenerating committed baselines")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
 		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
@@ -47,11 +49,15 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runRuntimeBench(*outDir, *scenario); err != nil {
+		if err := runRuntimeBench(*outDir, *scenario, *backend); err != nil {
 			fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *backend != "" {
+		fmt.Fprintln(os.Stderr, "rmebench: -backend is only meaningful with -json")
+		os.Exit(1)
 	}
 
 	all := experiments.All()
@@ -119,20 +125,51 @@ func printSample(s rtbench.Sample) {
 
 // runRuntimeBench measures the strategy × pool matrix and writes one
 // BENCH_<file>.json per scenario file group (the two tree scenarios share
-// BENCH_tree.json).
-func runRuntimeBench(outDir, only string) error {
+// BENCH_tree.json, the keyed backend pair BENCH_keyed_tree.json). A
+// non-empty backendName overrides every keyed scenario's shard backend —
+// the ad-hoc comparison mode; committed baselines are regenerated with
+// each scenario's own backend.
+func runRuntimeBench(outDir, only, backendName string) error {
 	// Fail on an unwritable destination before burning benchmark time.
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	ran := 0
+	// Validate the whole request before burning benchmark time: every
+	// scenario name must exist (a typo in a comma-separated list would
+	// otherwise silently regenerate a shared BENCH file with only half
+	// its scenario group), and the backend override must parse.
+	known := make(map[string]bool)
+	var names []string
+	for _, sc := range rtbench.Scenarios() {
+		known[strings.ToLower(sc.Name)] = true
+		names = append(names, sc.Name)
+	}
+	want := make(map[string]bool)
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			name = strings.ToLower(strings.TrimSpace(name))
+			if !known[name] {
+				return fmt.Errorf("no scenario matches -scenario %q (have: %s)", name, strings.Join(names, ", "))
+			}
+			want[name] = true
+		}
+	}
+	backend := rme.AutoBackend
+	if backendName != "" {
+		var err error
+		if backend, err = rtbench.ParseBackend(backendName); err != nil {
+			return err
+		}
+	}
 	var fileOrder []string
 	byFile := make(map[string][]rtbench.Sample)
 	for _, sc := range rtbench.Scenarios() {
-		if only != "" && !strings.EqualFold(only, sc.Name) {
+		if only != "" && !want[strings.ToLower(sc.Name)] {
 			continue
 		}
-		ran++
+		if backendName != "" && sc.Keyed {
+			sc.Backend = backend
+		}
 		fmt.Fprintf(os.Stderr, "benchmarking %s (%d ports)...\n", sc.Name, sc.Ports())
 		samples := rtbench.RunScenario(sc)
 		for _, s := range samples {
@@ -143,13 +180,6 @@ func runRuntimeBench(outDir, only string) error {
 			fileOrder = append(fileOrder, f)
 		}
 		byFile[f] = append(byFile[f], samples...)
-	}
-	if ran == 0 {
-		names := make([]string, 0, len(rtbench.Scenarios()))
-		for _, sc := range rtbench.Scenarios() {
-			names = append(names, sc.Name)
-		}
-		return fmt.Errorf("no scenario matches -scenario %q (have: %s)", only, strings.Join(names, ", "))
 	}
 	for _, f := range fileOrder {
 		buf, err := json.MarshalIndent(byFile[f], "", "  ")
@@ -348,7 +378,13 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("keyed_hot8 / keyed_batch pair prices one stripe's keys locked")
 	fmt.Println("one-by-one against the same groups under DoBatch, per-key ns/op")
 	fmt.Println("in both so the batch amortization factor reads directly off the")
-	fmt.Println("file (≥2x on the committed baselines); plus")
+	fmt.Println("file (≥2x on the committed baselines);")
+	fmt.Println("BENCH_keyed_tree.json for the shard-backend comparison — the")
+	fmt.Println("keyed_hiport / keyed_tree pair runs one 64-port-per-stripe")
+	fmt.Println("workload on flat and on arbitration-tree shards, so the tree's")
+	fmt.Println("per-level handoff cost at big k is a committed number (within a")
+	fmt.Println("few percent of flat under saturation on the committed run, at")
+	fmt.Println("~4x the wakes per passage); plus")
 	fmt.Println("BENCH_keyed_crash.json for the table under a deterministic")
 	fmt.Println("crash mix, kept out of the allocation gate because recovery")
 	fmt.Println("allocations are schedule-dependent) across the wait-strategy ×")

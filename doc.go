@@ -93,6 +93,40 @@
 // progress guarantees assume crashed processes restart. See
 // examples/locktable for the full pattern under a crash storm.
 //
+// # Choosing a shard backend
+//
+// Each shard's lock is either the flat k-ported Mutex or a k-process
+// arbitration TreeMutex, selected by WithShardBackend; every keyed
+// contract (striping, recovery, zero-allocation warm passages, async and
+// batch) holds identically on both, so the choice is purely a
+// performance trade:
+//
+//   - The flat lock's crash-free passage is O(1) RMR — one queue entry,
+//     one handoff — and nothing beats it while recovery stays rare and
+//     ports stay modest. Its costs grow with the port count k: a queue
+//     repair scans all k ports and runs under a repair lock whose
+//     tournament is sized k, and every repair of the stripe serializes
+//     through that one lock.
+//   - The tree pays O(log k / log log k) levels per passage (visible as
+//     ~4x wakes per passage at k=64 in the committed
+//     BENCH_keyed_tree.json), but bounds every repair to one node of
+//     Θ(log k / log log k) ports and repairs different nodes in
+//     parallel — the paper's Section 3.3 trade, applied per stripe. On
+//     the committed high-port baselines its throughput is within a few
+//     percent of flat shards under saturation, because a deep queue
+//     hides handoff latency; under spin-then-park with heavy
+//     oversubscription each extra level's wake is a park/unpark round
+//     trip, and the flat lock is clearly better.
+//   - AutoBackend (the default) draws the line at 32 ports per shard:
+//     flat below, tree above. Tables that know their recovery profile
+//     can override it either way; Backend() reports what was built.
+//
+// Arenas can also be heterogeneous in wait strategy: WithShardStrategy
+// overrides the waiting discipline per shard (hot shards on
+// SpinWaitStrategy for handoff latency, the cold tail on
+// SpinParkWaitStrategy so idle stripes cost parked goroutines), without
+// affecting any correctness property.
+//
 // # Asynchronous and batched acquisition
 //
 // Blocking Lock parks one goroutine per waiting key. At service scale the

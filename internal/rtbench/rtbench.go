@@ -24,6 +24,13 @@
 // keyed_batch : keyed_hot8 ratio, ≥2x on the committed baselines). All
 // three are crash-free and inside the zero-allocation gate.
 //
+// The shard-backend comparison is BENCH_keyed_tree.json: keyed_hiport
+// and keyed_tree run one identical high-port-count workload on flat and
+// tree shards respectively, so the cost of the arbitration tree's
+// sub-logarithmic structure at big k is a committed, gate-pinned number
+// rather than a claim. Both cells are crash-free and inside the
+// zero-allocation gate.
+//
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
 // records GOMAXPROCS alongside every sample.
@@ -61,6 +68,11 @@ type Scenario struct {
 	// worker-goroutine count, and Keys/Shards/ShardPorts shape the
 	// workload and arena.
 	Keyed bool
+	// Backend selects the keyed table's shard lock shape (flat Mutex,
+	// arbitration TreeMutex, or the port-count Auto default). Keyed
+	// scenarios only; the zero value is rme.AutoBackend, which keeps the
+	// long-standing scenarios on flat shards at their small port counts.
+	Backend rme.ShardBackend
 	// Zipf draws keys zipf-distributed (hot-key contention) instead of
 	// uniformly. Keyed scenarios only.
 	Zipf bool
@@ -169,6 +181,43 @@ func Scenarios() []Scenario {
 			Shards: 32, ShardPorts: 4,
 		},
 		{
+			// The backend-comparison pair (BENCH_keyed_tree.json):
+			// keyed_hiport and keyed_tree run the identical high-port
+			// workload — the arena shape the multi-backend option exists
+			// for — differing only in the shard lock shape, so tree-vs-
+			// flat at big k reads directly off the file. 64 workers
+			// saturate 2 stripes of 64 ports each (the tree builds
+			// arity-3 nodes 4 levels deep for k=64); at that depth the
+			// stripes are always queued, which is the regime that
+			// justifies a 64-port arena in the first place.
+			//
+			// Yield cells only. The pair isolates the shard shape's
+			// handoff structure (the tree's per-level wakes show up in
+			// wakes_per_op, ~4x flat's single handoff); under spinpark
+			// each of those extra wakes becomes a park/unpark scheduler
+			// round trip, a cost of parking-under-oversubscription that
+			// BENCH_tree.json's tree_oversubscribed cells already record
+			// against the same flat baseline, and its 3-5x swing would
+			// drown the per-cell regression signal this gate-pinned pair
+			// exists for. Spin is auto-skipped past GOMAXPROCS anyway.
+			Name: "keyed_hiport", File: "keyed_tree", Keyed: true,
+			Ports:  func() int { return 64 },
+			Iters:  40_000,
+			Keys:   1 << 16,
+			Shards: 2, ShardPorts: 64,
+			Backend:        rme.FlatBackend,
+			SkipStrategies: []string{"spinpark"},
+		},
+		{
+			Name: "keyed_tree", File: "keyed_tree", Keyed: true,
+			Ports:  func() int { return 64 },
+			Iters:  40_000,
+			Keys:   1 << 16,
+			Shards: 2, ShardPorts: 64,
+			Backend:        rme.TreeBackend,
+			SkipStrategies: []string{"spinpark"},
+		},
+		{
 			// Hot-stripe baseline for the batch cells: eight workers lock
 			// a single stripe's keys one at a time, paying the full
 			// per-acquisition overhead per key.
@@ -205,6 +254,20 @@ const (
 
 // StrategyNames returns the strategy axis, in report order.
 func StrategyNames() []string { return []string{"yield", "spin", "spinpark"} }
+
+// ParseBackend maps a command-line backend name to the option value —
+// the vocabulary cmd/rmebench's -backend flag accepts.
+func ParseBackend(name string) (rme.ShardBackend, error) {
+	switch name {
+	case "flat":
+		return rme.FlatBackend, nil
+	case "tree":
+		return rme.TreeBackend, nil
+	case "auto":
+		return rme.AutoBackend, nil
+	}
+	return rme.AutoBackend, fmt.Errorf("unknown shard backend %q (have: flat, tree, auto)", name)
+}
 
 func strategyByName(name string) rme.WaitStrategy {
 	switch name {
@@ -252,11 +315,13 @@ type Sample struct {
 	// deterministic crash mix injected during the measured pass. Async
 	// and Batch make the keyed pipeline cells self-describing: Async
 	// marks LockAsync completion passages, Batch > 1 records the DoBatch
-	// group size (ns/op stays per key).
+	// group size (ns/op stays per key). Backend records the resolved
+	// shard lock shape ("flat" or "tree").
 	Keys    uint64 `json:"keys,omitempty"`
 	Crashes uint64 `json:"crashes,omitempty"`
 	Async   bool   `json:"async,omitempty"`
 	Batch   int    `json:"batch,omitempty"`
+	Backend string `json:"backend,omitempty"`
 }
 
 // locker is the common surface of Mutex and TreeMutex the harness drives.
@@ -471,7 +536,7 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		st := wait.Instrumented(strategyByName(strategy), stats)
 		tbl = rme.NewLockTable(sc.Shards, sc.ShardPorts,
 			rme.WithWaitStrategy(st), rme.WithNodePool(pool),
-			rme.WithTableSeed(0x5eed))
+			rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend))
 	default:
 		st := wait.Instrumented(strategyByName(strategy), stats)
 		lk = rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
@@ -537,6 +602,7 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		s.Crashes = crashCount.Load()
 		s.Async = sc.Async
 		s.Batch = sc.Batch
+		s.Backend = tbl.Backend().String()
 		tbl.Close() // stop the cell's dispatchers before the next cell runs
 	}
 	if tm != nil {

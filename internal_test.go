@@ -202,6 +202,94 @@ func TestMaximalQPathsShapes(t *testing.T) {
 	}
 }
 
+// TestAsyncPrewarmPerShard pins WithAsyncPrewarm's per-shard guarantee:
+// every shard's free list gets the full n request nodes (each with its
+// reusable cap-1 grant channel) and every shard's dispatcher is started
+// eagerly, so the submit side of a stripe's very first request allocates
+// nothing. The pre-fix round-robin left shards with no nodes whenever
+// n < Shards(), silently breaking the first-request claim on the
+// unwarmed stripes.
+func TestAsyncPrewarmPerShard(t *testing.T) {
+	const shards, n = 8, 3
+	tbl := NewLockTable(shards, 2, WithAsyncPrewarm(n), WithNodePool(true))
+	defer tbl.Close()
+	for i := range tbl.shards {
+		sh := &tbl.shards[i]
+		count := 0
+		sh.reqMu.Lock()
+		for r := sh.reqFree; r != nil; r = r.next {
+			if r.ch == nil || cap(r.ch) != 1 {
+				sh.reqMu.Unlock()
+				t.Fatalf("shard %d: prewarmed node without a usable grant channel", i)
+			}
+			count++
+		}
+		sh.reqMu.Unlock()
+		if count != n {
+			t.Fatalf("shard %d prewarmed %d request nodes, want %d on every shard", i, count, n)
+		}
+		if !sh.disp.started.Load() {
+			t.Fatalf("shard %d dispatcher not started eagerly by the prewarm", i)
+		}
+	}
+	// Let the eagerly-started dispatchers reach their parks (the first park
+	// lazily creates each cell's reusable channel) so the measurement below
+	// sees only the request-node path.
+	time.Sleep(20 * time.Millisecond)
+	if avg := testing.AllocsPerRun(50, func() {
+		for i := range tbl.shards {
+			r := tbl.shards[i].getReq()
+			tbl.shards[i].putReq(r)
+		}
+	}); avg != 0 {
+		t.Fatalf("prewarmed request-node path allocs = %v, want 0", avg)
+	}
+}
+
+// TestShardStrategyHook pins WithShardStrategy's wiring: a non-nil hook
+// result overrides the table-wide strategy for exactly that shard's lock
+// and lease pool, a nil result keeps the default, and the override
+// reaches every tree node when the shard backend is the arbitration tree.
+func TestShardStrategyHook(t *testing.T) {
+	tbl := NewLockTable(3, 2,
+		WithWaitStrategy(YieldWaitStrategy()),
+		WithShardStrategy(func(shard int) WaitStrategy {
+			if shard == 1 {
+				return SpinWaitStrategy()
+			}
+			return nil
+		}))
+	want := []string{"yield", "spin", "yield"}
+	for i := range tbl.shards {
+		if got := tbl.shards[i].m.(*Mutex).strat.String(); got != want[i] {
+			t.Errorf("shard %d lock strategy = %s, want %s", i, got, want[i])
+		}
+		if got := tbl.shards[i].pool.strat.String(); got != want[i] {
+			t.Errorf("shard %d lease strategy = %s, want %s", i, got, want[i])
+		}
+	}
+
+	tree := NewLockTable(2, 8,
+		WithShardBackend(TreeBackend),
+		WithShardStrategy(func(shard int) WaitStrategy {
+			if shard == 0 {
+				return SpinParkWaitStrategy(16)
+			}
+			return nil
+		}))
+	wantTree := []string{"spinpark", "yield"}
+	for i := range tree.shards {
+		tm := tree.shards[i].m.(*TreeMutex)
+		for l, level := range tm.nodes {
+			for g, node := range level {
+				if got := node.strat.String(); got != wantTree[i] {
+					t.Errorf("tree shard %d node [%d][%d] strategy = %s, want %s", i, l, g, got, wantTree[i])
+				}
+			}
+		}
+	}
+}
+
 // TestPaddedLayout pins the cache-line padding contract of the hot shared
 // arrays: one slot must never share a (prefetcher-paired) line with its
 // neighbor. If a field is added to one of these types, grow its pad.

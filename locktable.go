@@ -52,13 +52,25 @@ import (
 // the pool; progress of the whole stripe depends on it, exactly as RME
 // progress depends on crashed processes restarting.
 //
+// # Shard backends
+//
+// Each shard's lock is one of the library's two recoverable lock shapes,
+// selected at construction by WithShardBackend (see ShardBackend): the
+// flat k-ported Mutex, the arbitration-tree TreeMutex, or an automatic
+// choice by port count. Every keyed contract in this file — striping,
+// orphan recovery, zero-allocation warm passages, async and batch
+// acquisition — is backend-independent: both shapes satisfy the same
+// portLock surface and the same crash-recovery story, and the test suite
+// proves the invariants against each.
+//
 // A LockTable must be created with NewLockTable. All methods are safe for
 // concurrent use; the per-key contract is the usual one (Unlock a key only
 // while holding it).
 type LockTable struct {
-	shards []lockShard
-	seed   uint64
-	ports  int
+	shards  []lockShard
+	seed    uint64
+	ports   int
+	backend ShardBackend // resolved: FlatBackend or TreeBackend, never Auto
 
 	// strat and dispSpin configure the async dispatchers (see
 	// locktable_async.go): the wait strategy their idle parks and lease
@@ -75,11 +87,88 @@ type LockTable struct {
 	closed    atomic.Bool
 }
 
-// lockShard is one stripe: a k-ported recoverable mutex, the lease pool
-// multiplexing workers onto its ports, and the key each leased port is
-// currently locking.
+// portLock is the contract a shard's lock backend satisfies: a k-ported
+// recoverable lock whose identities are dense ints 0..Ports()-1, with
+// wait-free critical-section re-entry after a crash (Lock on the dead
+// identity's port recovers its passage), a Held probe for
+// died-in-critical-section detection, and the labeled crash-injection
+// hook. Mutex (ports) and TreeMutex (process indices) both satisfy it;
+// everything above the shard — leases, striping, reclaim sweeps, the
+// async and batch pipelines — is written against this surface only, so
+// the two shapes are interchangeable per arena.
+type portLock interface {
+	Lock(port int)
+	Unlock(port int)
+	Held(port int) bool
+	Ports() int
+	SetCrashFunc(fn CrashFunc)
+}
+
+var (
+	_ portLock = (*Mutex)(nil)
+	_ portLock = (*TreeMutex)(nil)
+)
+
+// ShardBackend names the lock shape a LockTable's shards are built from;
+// see WithShardBackend.
+type ShardBackend int
+
+const (
+	// AutoBackend (the default) picks by port count: FlatBackend up to
+	// autoTreePortThreshold ports per shard, TreeBackend past it. The
+	// crossover follows the two shapes' cost structure — the flat lock's
+	// crash-free passage is O(1) RMR, unbeatable while its recovery
+	// machinery stays cheap, but its queue repair scans all k ports under
+	// one serialized repair lock and its tournament is sized k, so repair
+	// cost grows linearly with the port count; the tree bounds every
+	// repair to one arity-sized node and pays O(log k / log log k) levels
+	// per passage instead.
+	AutoBackend ShardBackend = iota
+	// FlatBackend builds each shard from one flat k-ported Mutex — O(1)
+	// RMR crash-free passages, Θ(k) queue repair on recovery.
+	FlatBackend
+	// TreeBackend builds each shard from a k-process arbitration
+	// TreeMutex — O(log k / log log k) RMR passages with every repair
+	// confined to one Θ(log k / log log k)-ported node, the paper's
+	// Section 3.3 trade for large process counts.
+	TreeBackend
+)
+
+// autoTreePortThreshold is where AutoBackend switches from flat shards to
+// tree shards: past this many ports, a single crash's Θ(k) repair scan
+// (serialized against every other repair of the stripe by the flat lock's
+// k-sized tournament) costs more than the tree's extra per-passage levels
+// amortized across passages.
+const autoTreePortThreshold = 32
+
+func (b ShardBackend) String() string {
+	switch b {
+	case AutoBackend:
+		return "auto"
+	case FlatBackend:
+		return "flat"
+	case TreeBackend:
+		return "tree"
+	}
+	return fmt.Sprintf("ShardBackend(%d)", int(b))
+}
+
+// resolve maps AutoBackend to the concrete shape for a port count.
+func (b ShardBackend) resolve(ports int) ShardBackend {
+	if b != AutoBackend {
+		return b
+	}
+	if ports > autoTreePortThreshold {
+		return TreeBackend
+	}
+	return FlatBackend
+}
+
+// lockShard is one stripe: a k-ported recoverable lock (flat or tree —
+// see portLock), the lease pool multiplexing workers onto its ports, and
+// the key each leased port is currently locking.
 type lockShard struct {
-	m    *Mutex
+	m    portLock
 	pool *PortLeaser
 	// key[p] is the key port p's current tenancy is about: stored between
 	// lease acquisition and the port's Lock, read by Held/Unlock scans.
@@ -98,9 +187,12 @@ type lockShard struct {
 var tableSeedClock atomic.Uint64
 
 // NewLockTable creates a keyed lock service striped over shards stripes of
-// ports ports each. Options are threaded through to every shard's Mutex
-// (wait strategy, node pooling); WithTableSeed pins the key-to-shard
-// mapping for reproducibility.
+// ports ports each. Options are threaded through to every shard's lock
+// (wait strategy, node pooling); WithShardBackend selects the lock shape
+// each shard is built from (flat Mutex, arbitration TreeMutex, or the
+// automatic port-count choice — the default), WithShardStrategy overrides
+// the wait strategy per shard for heterogeneous arenas, and WithTableSeed
+// pins the key-to-shard mapping for reproducibility.
 //
 // Sizing: shards bounds how many keys can be held concurrently (one holder
 // per stripe), ports bounds how many workers can be queued on one stripe
@@ -118,23 +210,48 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 	if !cfg.seedSet {
 		seed = xrand.Mix64(tableSeedClock.Add(1) * 0x9e3779b97f4a7c15)
 	}
+	backend := cfg.backend.resolve(ports)
 	t := &LockTable{
 		shards:   make([]lockShard, shards),
 		seed:     seed,
 		ports:    ports,
+		backend:  backend,
 		strat:    cfg.strat,
 		dispSpin: cfg.dispSpin,
 	}
 	for i := range t.shards {
+		shOpts := opts
+		if cfg.shardStrat != nil {
+			if s := cfg.shardStrat(i); s != nil {
+				// Append after the caller's options so the per-shard
+				// strategy wins over a table-wide WithWaitStrategy.
+				shOpts = append(append(make([]Option, 0, len(opts)+1), opts...),
+					WithWaitStrategy(s))
+			}
+		}
+		var m portLock
+		if backend == TreeBackend {
+			m = NewTree(ports, shOpts...)
+		} else {
+			m = New(ports, shOpts...)
+		}
 		t.shards[i] = lockShard{
-			m:    New(ports, opts...),
-			pool: NewPortLeaser(ports, opts...),
+			m:    m,
+			pool: NewPortLeaser(ports, shOpts...),
 			key:  make([]atomic.Uint64, ports),
 		}
 	}
-	for i := 0; i < cfg.asyncPrewarm; i++ {
-		// Round-robin the prewarmed nodes over the shards' free lists.
-		t.shards[i%shards].putReq(&asyncReq{ch: make(chan Grant, 1)})
+	if cfg.asyncPrewarm > 0 {
+		// Warm every shard: the prewarm promise is per stripe (a request
+		// node free list is per shard), so each shard gets the full count
+		// and its dispatcher is started eagerly — see WithAsyncPrewarm.
+		for i := range t.shards {
+			sh := &t.shards[i]
+			for j := 0; j < cfg.asyncPrewarm; j++ {
+				sh.putReq(&asyncReq{ch: make(chan Grant, 1)})
+			}
+			t.startDispatcher(sh)
+		}
 	}
 	return t
 }
@@ -144,6 +261,11 @@ func (t *LockTable) Shards() int { return len(t.shards) }
 
 // Ports returns the per-shard port count.
 func (t *LockTable) Ports() int { return t.ports }
+
+// Backend returns the lock shape the table's shards were built from:
+// FlatBackend or TreeBackend (an AutoBackend request is resolved at
+// construction and reported as whichever shape it chose).
+func (t *LockTable) Backend() ShardBackend { return t.backend }
 
 // ShardIndex returns the stripe key maps to, computed as the seeded
 // splitmix64 finalizer of key XOR the table's seed, reduced mod Shards().

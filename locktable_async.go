@@ -1,6 +1,7 @@
 package rme
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"github.com/rmelib/rme/internal/wait"
@@ -95,9 +96,9 @@ func (g Grant) Abandon() {
 }
 
 // asyncReq is one queued acquisition: an intrusive inbox node plus the
-// completion (channel or callback). Nodes are recycled through the
-// table's free list; each node's channel is created once and reused, so a
-// warm async passage allocates nothing.
+// completion (channel or callback). Nodes are recycled through their
+// shard's free list (pre-filled by WithAsyncPrewarm); each node's channel
+// is created once and reused, so a warm async passage allocates nothing.
 type asyncReq struct {
 	key  uint64
 	ch   chan Grant  // cap 1; owned by the request until the grant is settled
@@ -110,6 +111,16 @@ type dispatcher struct {
 	// inbox is a lock-free LIFO of submitted requests (reversed to FIFO by
 	// the dispatcher when it drains).
 	inbox atomic.Pointer[asyncReq]
+	// deliverMu serializes every swap-and-deliver batch of the stripe —
+	// the dispatcher's normal loop, its final drain, and any close-race
+	// drainer goroutines (see drainClosed). Because each batch is swapped
+	// and fully delivered under the mutex, batches are delivered in the
+	// temporal order of their swaps and requests in FIFO order within
+	// each batch, which is what makes LockAsync's per-submitter grant
+	// ordering hold unconditionally, Close races included. Uncontended
+	// (the dispatcher is alone) outside those races, so the hot path pays
+	// one uncontended lock per batch.
+	deliverMu sync.Mutex
 	// cell is where the dispatcher parks between request bursts. Idle
 	// parking always uses a spin-then-park strategy — never the table's
 	// worker-side strategy — because an idle dispatcher must cost a
@@ -118,7 +129,8 @@ type dispatcher struct {
 	// the park.
 	cell      wait.Cell
 	parkStrat wait.Strategy
-	// started flips once, when the first request spawns the goroutine.
+	// started flips once, when the goroutine is spawned — by the stripe's
+	// first request, or eagerly at construction under WithAsyncPrewarm.
 	started atomic.Bool
 	// pollCond is the park condition, bound once at start so idle parking
 	// does not allocate a closure per episode.
@@ -188,6 +200,22 @@ func (t *LockTable) LockAsyncFunc(key uint64, fn func(Grant)) {
 }
 
 // submit pushes r onto its stripe's inbox and pokes the dispatcher.
+//
+// The closed checks bracket the push, and both are load-bearing. The one
+// before is the intake stop: a submission that observes closed panics and
+// enqueues nothing. The one after closes the stranding race with Close():
+// a submission whose first check passed while Close ran may have pushed
+// onto an inbox the dispatcher has already drained for the last time. If
+// that happened, this submitter is guaranteed to observe closed here (the
+// dispatcher's final drain starts only after Close's store, so a push the
+// drain missed must follow the store — and this load follows the push),
+// and it spawns a transient drainer that completes the stranded requests.
+// The drainer must be its own goroutine, not an inline call: delivery
+// blocks until the stripe's current holder releases, and the current
+// holder can be this very submitter's earlier grant, parked in a channel
+// it cannot receive from while stuck inside submit. All drainers and the
+// dispatcher may drain concurrently; the inbox Swap hands each request to
+// exactly one of them.
 func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
 	if t.closed.Load() {
 		panic("rme: async acquisition on a closed LockTable")
@@ -200,20 +228,54 @@ func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
 			break
 		}
 	}
-	if !d.started.Load() && d.started.CompareAndSwap(false, true) {
-		d.pollCond = func() bool { return d.inbox.Load() != nil || t.closed.Load() }
-		d.parkStrat = wait.SpinThenPark(t.dispSpin)
-		go t.dispatch(sh)
-	}
+	t.startDispatcher(sh)
 	d.cell.Wake()
+	if t.closed.Load() {
+		go t.drainClosed(sh)
+	}
+}
+
+// startDispatcher spawns sh's dispatcher goroutine if it has not started
+// yet. Lazily invoked by the first submission on the stripe; invoked
+// eagerly at construction when WithAsyncPrewarm asked for warm first
+// requests (the start is the submit path's only allocation).
+func (t *LockTable) startDispatcher(sh *lockShard) {
+	d := &sh.disp
+	if d.started.Load() || !d.started.CompareAndSwap(false, true) {
+		return
+	}
+	d.pollCond = func() bool { return d.inbox.Load() != nil || t.closed.Load() }
+	d.parkStrat = wait.SpinThenPark(t.dispSpin)
+	go t.dispatch(sh)
+}
+
+// drainClosed empties sh's inbox and completes every request found — the
+// closed-table settlement path, run by the dispatcher as its final drain
+// after observing closed and on a transient goroutine spawned by any
+// submitter whose post-push re-check observed closed (see submit).
+// Requests are delivered, not dropped: they passed the intake check
+// before Close became visible to them, and an accepted request must end
+// in a grant. Delivery goes through the same mutex-serialized batches as
+// the dispatcher's own loop, so the per-submitter FIFO grant order holds
+// even for the requests that raced Close.
+func (t *LockTable) drainClosed(sh *lockShard) {
+	for t.deliverBatch(sh) {
+	}
 }
 
 // Close shuts the table's async dispatchers down: subsequent LockAsync /
 // LockAsyncFunc / batch calls panic, dispatchers drain their inboxes and
 // exit. Synchronous Lock/Unlock and reclaim sweeps are unaffected, and
 // outstanding grants stay valid — Close stops intake, it does not revoke
-// tenancies. Close is idempotent; it must not race in-flight async
-// submissions (quiesce submitters first, as with closing a channel).
+// tenancies. Close is idempotent and safe to race with in-flight async
+// submissions: a submission concurrent with Close either panics (it
+// observed the closed table) or is completed normally — its grant is
+// delivered by the dispatcher's final drain, or failing that by a
+// transient drainer goroutine the submitter spawns on its way out, which
+// in that narrow window delivers grants (and runs LockAsyncFunc
+// callbacks) in place of the dispatcher. No accepted request is ever
+// stranded, and the per-submitter FIFO grant order survives the race
+// (all deliveries of a stripe are serialized through one mutex).
 //
 // Close does not interrupt in-flight deliveries: a dispatcher exits
 // after completing the requests it already holds, so its goroutine only
@@ -236,35 +298,59 @@ func (t *LockTable) Close() {
 func (t *LockTable) dispatch(sh *lockShard) {
 	d := &sh.disp
 	for {
-		head := d.inbox.Swap(nil)
-		if head == nil {
-			if t.closed.Load() {
-				return
-			}
-			// Spin-then-park: a loaded pipeline usually has the next
-			// burst's wake in flight, and catching it in the spin phase
-			// skips the park/unpark round trip (WithDispatcherSpin sizes
-			// that budget); a genuinely idle stripe ends up parked on the
-			// cell's channel, costing nothing.
-			d.cell.Await(d.parkStrat, d.pollCond)
+		if t.deliverBatch(sh) {
 			continue
 		}
-		// The inbox is push-LIFO; reverse the drained burst to FIFO so
-		// grants go out in submission order.
-		var fifo *asyncReq
-		for head != nil {
-			next := head.next
-			head.next = fifo
-			fifo = head
-			head = next
+		if t.closed.Load() {
+			// Final drain before exiting: a submission that passed its
+			// closed check concurrently with Close may have pushed after
+			// the empty swap above, and nothing would ever deliver it once
+			// this goroutine is gone. Requests pushed after the final
+			// drain's last swap are covered the other way — their
+			// submitters' post-push re-check is then guaranteed to observe
+			// closed and rescue them (see submit).
+			t.drainClosed(sh)
+			return
 		}
-		for fifo != nil {
-			r := fifo
-			fifo = r.next
-			r.next = nil
-			t.deliver(sh, r)
-		}
+		// Spin-then-park: a loaded pipeline usually has the next
+		// burst's wake in flight, and catching it in the spin phase
+		// skips the park/unpark round trip (WithDispatcherSpin sizes
+		// that budget); a genuinely idle stripe ends up parked on the
+		// cell's channel, costing nothing.
+		d.cell.Await(d.parkStrat, d.pollCond)
 	}
+}
+
+// deliverBatch swaps one inbox batch and delivers every request in it,
+// FIFO, all under the stripe's delivery mutex; it reports whether there
+// was a batch to deliver. Swapping inside the mutex is what makes grant
+// order well-defined under concurrent drains: batches are delivered in
+// the temporal order of their swaps, and a submitter's later push can
+// only land in a later batch.
+func (t *LockTable) deliverBatch(sh *lockShard) bool {
+	d := &sh.disp
+	d.deliverMu.Lock()
+	defer d.deliverMu.Unlock()
+	head := d.inbox.Swap(nil)
+	if head == nil {
+		return false
+	}
+	// The inbox is push-LIFO; reverse the drained burst to FIFO so
+	// grants go out in submission order.
+	var fifo *asyncReq
+	for head != nil {
+		next := head.next
+		head.next = fifo
+		fifo = head
+		head = next
+	}
+	for fifo != nil {
+		r := fifo
+		fifo = r.next
+		r.next = nil
+		t.deliver(sh, r)
+	}
+	return true
 }
 
 // deliver acquires r's tenancy and completes the request. Injected

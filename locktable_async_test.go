@@ -1,6 +1,8 @@
 package rme_test
 
 import (
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -126,51 +128,55 @@ func TestLockAsyncFunc(t *testing.T) {
 }
 
 // TestLockAsyncMutualExclusionStress mixes async and sync acquirers over
-// a small arena; the per-key referee must never see two holders.
+// a small arena, against both shard backends; the per-key referee must
+// never see two holders.
 func TestLockAsyncMutualExclusionStress(t *testing.T) {
-	const workers, iters, keys = 12, 200, 32
-	tbl := rme.NewLockTable(4, 4, rme.WithTableSeed(7), rme.WithNodePool(true))
-	defer tbl.Close()
-	var inside [keys]atomic.Int32
-	counters := [keys]int{} // guarded by the keyed lock
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := xrand.New(uint64(w) + 1)
-			for i := 0; i < iters; i++ {
-				k := rng.Uint64() % keys
-				crit := func() {
-					if inside[k].Add(1) != 1 {
-						t.Errorf("two holders of key %d", k)
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		const workers, iters, keys = 12, 200, 32
+		tbl := rme.NewLockTable(4, 4, rme.WithTableSeed(7), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		defer tbl.Close()
+		var inside [keys]atomic.Int32
+		counters := [keys]int{} // guarded by the keyed lock
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(w) + 1)
+				for i := 0; i < iters; i++ {
+					k := rng.Uint64() % keys
+					crit := func() {
+						if inside[k].Add(1) != 1 {
+							t.Errorf("two holders of key %d", k)
+						}
+						counters[k]++
+						inside[k].Add(-1)
 					}
-					counters[k]++
-					inside[k].Add(-1)
+					if w%2 == 0 {
+						g := <-tbl.LockAsync(k)
+						crit()
+						g.Unlock()
+					} else {
+						tbl.Lock(k)
+						crit()
+						tbl.Unlock(k)
+					}
 				}
-				if w%2 == 0 {
-					g := <-tbl.LockAsync(k)
-					crit()
-					g.Unlock()
-				} else {
-					tbl.Lock(k)
-					crit()
-					tbl.Unlock(k)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	total := 0
-	for k := range counters {
-		total += counters[k]
-	}
-	if total != workers*iters {
-		t.Fatalf("counter sum = %d, want %d", total, workers*iters)
-	}
-	if !tbl.Quiesced() {
-		t.Fatal("table not quiesced after the stress")
-	}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for k := range counters {
+			total += counters[k]
+		}
+		if total != workers*iters {
+			t.Fatalf("counter sum = %d, want %d", total, workers*iters)
+		}
+		if !tbl.Quiesced() {
+			t.Fatal("table not quiesced after the stress")
+		}
+	})
 }
 
 // TestLockAsyncGrantSurvivesGranteeCrash is the regression test for grant
@@ -249,6 +255,82 @@ func TestLockAsyncFuncCrashOrphans(t *testing.T) {
 	}
 }
 
+// TestLockAsyncSubmitCloseRace is the regression storm for the
+// dispatcher-exit stranding race: a LockAsync whose closed check passes
+// concurrently with Close() used to push onto an inbox the dispatcher had
+// already drained for the last time, leaving the request granted never —
+// no grant, no panic. Post-fix, every submission that survives the closed
+// check must end in a delivered grant (the dispatcher's final drain or the
+// submitter's own closed rescue completes it); submissions that observe
+// closed panic as documented. Run under -race: the bug is a pure
+// interleaving window.
+func TestLockAsyncSubmitCloseRace(t *testing.T) {
+	// The stranding window is a submitter preempted between its closed
+	// check and its inbox push while Close and the dispatcher's exit land
+	// in between; widen it with real parallelism and a hot single-stripe
+	// inbox whose CAS contention stretches exactly that window.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	rounds := 200
+	if testing.Short() {
+		rounds = 40
+	}
+	const workers = 16
+	for round := 0; round < rounds; round++ {
+		tbl := rme.NewLockTable(1, 4, rme.WithTableSeed(uint64(round)+1), rme.WithNodePool(true))
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					// The documented closed-table panic is the legal end of
+					// each worker's storm; anything else is a real failure.
+					if r := recover(); r != nil {
+						if s, ok := r.(string); !ok || !strings.Contains(s, "closed LockTable") {
+							panic(r)
+						}
+					}
+				}()
+				<-start
+				// Submit continuously until Close stops intake. Receive in
+				// the submitting goroutine: grants must be settled as they
+				// arrive, because an unreceived grant legitimately holds its
+				// stripe and would stall the requests queued behind it — the
+				// stranding this test hunts is a request whose grant never
+				// arrives at all.
+				for i := 0; ; i++ {
+					select {
+					case g := <-tbl.LockAsync(uint64(w*1000 + i)):
+						g.Unlock()
+					case <-time.After(10 * time.Second):
+						t.Errorf("round %d: worker %d request %d stranded after Close", round, w, i)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			// Let the storm get hot before pulling the plug, with a little
+			// per-round variation so the close lands at different phases of
+			// the submit/dispatch pipeline across rounds.
+			time.Sleep(time.Duration(50+round%7*37) * time.Microsecond)
+			tbl.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if !tbl.Quiesced() {
+			t.Fatalf("round %d: table not quiesced after the storm", round)
+		}
+	}
+}
+
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
@@ -290,23 +372,25 @@ func TestLockTableClose(t *testing.T) {
 }
 
 // TestLockAsyncZeroAlloc pins the tentpole's allocation claim for the
-// async path: a warm crash-free LockAsync → receive → Unlock passage
-// allocates nothing.
+// async path on both shard backends: a warm crash-free LockAsync →
+// receive → Unlock passage allocates nothing.
 func TestLockAsyncZeroAlloc(t *testing.T) {
-	tbl := rme.NewLockTable(4, 2, rme.WithTableSeed(5), rme.WithNodePool(true),
-		rme.WithAsyncPrewarm(4))
-	defer tbl.Close()
-	const key = 77
-	for i := 0; i < 8; i++ { // warm pools, dispatcher, park channels
-		g := <-tbl.LockAsync(key)
-		g.Unlock()
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		g := <-tbl.LockAsync(key)
-		g.Unlock()
-	}); avg != 0 {
-		t.Fatalf("async keyed passage allocs = %v, want 0", avg)
-	}
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		tbl := rme.NewLockTable(4, 8, rme.WithTableSeed(5), rme.WithNodePool(true),
+			rme.WithAsyncPrewarm(4), rme.WithShardBackend(backend))
+		defer tbl.Close()
+		const key = 77
+		for i := 0; i < 8; i++ { // warm pools, dispatcher, park channels
+			g := <-tbl.LockAsync(key)
+			g.Unlock()
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			g := <-tbl.LockAsync(key)
+			g.Unlock()
+		}); avg != 0 {
+			t.Fatalf("async keyed passage allocs = %v, want 0", avg)
+		}
+	})
 }
 
 func TestLockBatchBasics(t *testing.T) {
@@ -488,78 +572,87 @@ func TestLockBatchCrashMidRelease(t *testing.T) {
 
 // TestDoBatchExactlyOnceUnderCrashStorm: DoBatch's supervisor loop keeps
 // the exactly-once-per-key guarantee under random injected deaths,
-// duplicates included.
+// duplicates included — against both shard backends, since a batch death
+// orphans several stripes whose parallel recovery must hold for each lock
+// shape.
 func TestDoBatchExactlyOnceUnderCrashStorm(t *testing.T) {
-	const workers, iters, keys, batch = 8, 60, 64, 6
-	tbl := rme.NewLockTable(4, 3, rme.WithTableSeed(11), rme.WithNodePool(true))
-	var calls atomic.Uint64
-	var crashed atomic.Int64
-	tbl.SetCrashFunc(func(port int, point string) bool {
-		if xrand.Mix64(calls.Add(1))%311 == 0 {
-			crashed.Add(1)
-			return true
-		}
-		return false
-	})
-	counters := make([]atomic.Int64, keys)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := xrand.New(uint64(w)*977 + 1)
-			buf := make([]uint64, batch)
-			for i := 0; i < iters; i++ {
-				for j := range buf {
-					buf[j] = rng.Uint64() % keys
-				}
-				buf[0] = buf[batch-1] // force a duplicate
-				tbl.DoBatch(buf, func(k uint64) { counters[k].Add(1) })
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		const workers, iters, keys, batch = 8, 60, 64, 6
+		tbl := rme.NewLockTable(4, 3, rme.WithTableSeed(11), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		var calls atomic.Uint64
+		var crashed atomic.Int64
+		tbl.SetCrashFunc(func(port int, point string) bool {
+			if xrand.Mix64(calls.Add(1))%311 == 0 {
+				crashed.Add(1)
+				return true
 			}
-		}(w)
-	}
-	wg.Wait()
-	tbl.SetCrashFunc(nil)
-	tbl.Reclaim()
-	if got := tbl.Orphans(); got != 0 {
-		t.Fatalf("%d orphans left after the final sweep", got)
-	}
-	if !tbl.Quiesced() {
-		t.Fatal("table not quiesced after the storm")
-	}
-	var total int64
-	for k := range counters {
-		total += counters[k].Load()
-	}
-	if want := int64(workers) * iters * batch; total != want {
-		t.Fatalf("fn ran %d times, want exactly %d", total, want)
-	}
-	if crashed.Load() == 0 {
-		t.Fatal("storm injected no crashes; recovery paths never exercised")
-	}
+			return false
+		})
+		counters := make([]atomic.Int64, keys)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(w)*977 + 1)
+				buf := make([]uint64, batch)
+				for i := 0; i < iters; i++ {
+					for j := range buf {
+						buf[j] = rng.Uint64() % keys
+					}
+					buf[0] = buf[batch-1] // force a duplicate
+					tbl.DoBatch(buf, func(k uint64) { counters[k].Add(1) })
+				}
+			}(w)
+		}
+		wg.Wait()
+		tbl.SetCrashFunc(nil)
+		tbl.Reclaim()
+		if got := tbl.Orphans(); got != 0 {
+			t.Fatalf("%d orphans left after the final sweep", got)
+		}
+		if !tbl.Quiesced() {
+			t.Fatal("table not quiesced after the storm")
+		}
+		var total int64
+		for k := range counters {
+			total += counters[k].Load()
+		}
+		if want := int64(workers) * iters * batch; total != want {
+			t.Fatalf("fn ran %d times, want exactly %d", total, want)
+		}
+		if crashed.Load() == 0 {
+			t.Fatal("storm injected no crashes; recovery paths never exercised")
+		}
+	})
 }
 
-// TestDoBatchZeroAllocAmortized pins the acceptance claim: a warm
-// crash-free batch passage allocates nothing, amortized over the batch.
+// TestDoBatchZeroAllocAmortized pins the acceptance claim on both shard
+// backends: a warm crash-free batch passage allocates nothing, amortized
+// over the batch.
 func TestDoBatchZeroAllocAmortized(t *testing.T) {
-	tbl := rme.NewLockTable(4, 2, rme.WithTableSeed(5), rme.WithNodePool(true))
-	keys := keysOnStripe(tbl, 1, 8)
-	nop := func(uint64) {}
-	for i := 0; i < 8; i++ {
-		tbl.DoBatch(keys, nop)
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		tbl.DoBatch(keys, nop)
-	}); avg != 0 {
-		t.Fatalf("warm batch passage allocs = %v, want 0", avg)
-	}
-	b := tbl.LockBatch(keys)
-	b.Unlock()
-	if avg := testing.AllocsPerRun(200, func() {
-		tbl.LockBatch(keys).Unlock()
-	}); avg != 0 {
-		t.Fatalf("warm LockBatch/Unlock allocs = %v, want 0", avg)
-	}
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		tbl := rme.NewLockTable(4, 8, rme.WithTableSeed(5), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		keys := keysOnStripe(tbl, 1, 8)
+		nop := func(uint64) {}
+		for i := 0; i < 8; i++ {
+			tbl.DoBatch(keys, nop)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			tbl.DoBatch(keys, nop)
+		}); avg != 0 {
+			t.Fatalf("warm batch passage allocs = %v, want 0", avg)
+		}
+		b := tbl.LockBatch(keys)
+		b.Unlock()
+		if avg := testing.AllocsPerRun(200, func() {
+			tbl.LockBatch(keys).Unlock()
+		}); avg != 0 {
+			t.Fatalf("warm LockBatch/Unlock allocs = %v, want 0", avg)
+		}
+	})
 }
 
 // TestLockBatchLarge exercises the heapsort path (batches past the

@@ -11,6 +11,51 @@ import (
 	"github.com/rmelib/rme/internal/xrand"
 )
 
+// backendMatrix runs f once per shard-lock backend, so every keyed
+// invariant the suite pins — mutual exclusion, crash recovery,
+// zero-allocation warm passages, async and batch semantics — is proven
+// against both lock shapes rather than assumed to transfer.
+func backendMatrix(t *testing.T, f func(t *testing.T, backend rme.ShardBackend)) {
+	for _, b := range []rme.ShardBackend{rme.FlatBackend, rme.TreeBackend} {
+		t.Run(b.String(), func(t *testing.T) { f(t, b) })
+	}
+}
+
+// TestLockTableBackendResolution pins WithShardBackend's contract: the
+// explicit shapes are honored at any port count, and Auto (the default)
+// switches to tree shards past the documented threshold.
+func TestLockTableBackendResolution(t *testing.T) {
+	tests := []struct {
+		name  string
+		ports int
+		opts  []rme.Option
+		want  rme.ShardBackend
+	}{
+		{"default small is flat", 4, nil, rme.FlatBackend},
+		{"auto small is flat", 32, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.FlatBackend},
+		{"auto large is tree", 33, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.TreeBackend},
+		{"explicit flat at any size", 64, []rme.Option{rme.WithShardBackend(rme.FlatBackend)}, rme.FlatBackend},
+		{"explicit tree at any size", 2, []rme.Option{rme.WithShardBackend(rme.TreeBackend)}, rme.TreeBackend},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tbl := rme.NewLockTable(2, tt.ports, tt.opts...)
+			if got := tbl.Backend(); got != tt.want {
+				t.Fatalf("Backend() = %v, want %v", got, tt.want)
+			}
+			// Whatever the shape, a basic passage must work.
+			tbl.Lock(7)
+			if !tbl.Held(7) {
+				t.Fatal("Held false while locked")
+			}
+			tbl.Unlock(7)
+			if !tbl.Quiesced() {
+				t.Fatal("not quiesced after the passage")
+			}
+		})
+	}
+}
+
 func TestLockTableBasics(t *testing.T) {
 	tbl := rme.NewLockTable(8, 2, rme.WithTableSeed(1))
 	if tbl.Shards() != 8 || tbl.Ports() != 2 {
@@ -100,107 +145,154 @@ func TestLockTableStripeSemantics(t *testing.T) {
 }
 
 // TestLockTableMutualExclusionStress: many workers over a small arena and
-// a modest keyspace, per-key referees. Key traffic is uniform; the zipf
-// crash storm below covers the skewed case.
+// a modest keyspace, per-key referees, against both shard backends. Key
+// traffic is uniform; the zipf crash storm below covers the skewed case.
 func TestLockTableMutualExclusionStress(t *testing.T) {
-	const workers, iters, keys = 16, 300, 64
-	tbl := rme.NewLockTable(4, 4, rme.WithTableSeed(7), rme.WithNodePool(true))
-	var inside [keys]atomic.Int32
-	var counters [keys]int // race-detector referees, guarded by the keyed lock
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := xrand.New(uint64(w) + 1)
-			for i := 0; i < iters; i++ {
-				k := rng.Uint64() % keys
-				tbl.Lock(k)
-				if inside[k].Add(1) != 1 {
-					t.Errorf("two holders of key %d", k)
-				}
-				counters[k]++
-				inside[k].Add(-1)
-				tbl.Unlock(k)
-			}
-		}(w)
-	}
-	wg.Wait()
-	total := 0
-	for k := range counters {
-		total += counters[k]
-	}
-	if total != workers*iters {
-		t.Fatalf("counter sum = %d, want %d", total, workers*iters)
-	}
-	if !tbl.Quiesced() {
-		t.Fatal("table not quiesced after the stress")
-	}
-}
-
-// TestLockTableZipfCrashStress is the acceptance workload: 64 goroutines
-// over a 1M-key zipf distribution with crash injection, each passage run
-// through Do (the packaged reclaim-and-retry supervisor). Referees:
-// per-key holder exclusivity (atomic) and a per-key counter written only
-// while holding (race detector), plus full orphan reclamation at the end.
-func TestLockTableZipfCrashStress(t *testing.T) {
-	const workers = 64
-	const keys = 1 << 20
-	iters := 200
-	if testing.Short() {
-		iters = 40
-	}
-	tbl := rme.NewLockTable(16, 4, rme.WithTableSeed(99), rme.WithNodePool(true))
-	var calls atomic.Uint64
-	var crashes atomic.Int64
-	tbl.SetCrashFunc(func(port int, point string) bool {
-		if xrand.Mix64(calls.Add(1))%1777 == 0 {
-			crashes.Add(1)
-			return true
-		}
-		return false
-	})
-	inside := make([]atomic.Int32, keys)
-	counters := make([]int32, keys) // guarded by the keyed lock
-	var wg sync.WaitGroup
-	var passages atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			z := rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), 1.3, 1, keys-1)
-			for i := 0; i < iters; i++ {
-				k := z.Uint64()
-				tbl.Do(k, func() {
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		const workers, iters, keys = 16, 300, 64
+		tbl := rme.NewLockTable(4, 4, rme.WithTableSeed(7), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		var inside [keys]atomic.Int32
+		var counters [keys]int // race-detector referees, guarded by the keyed lock
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := xrand.New(uint64(w) + 1)
+				for i := 0; i < iters; i++ {
+					k := rng.Uint64() % keys
+					tbl.Lock(k)
 					if inside[k].Add(1) != 1 {
 						t.Errorf("two holders of key %d", k)
 					}
 					counters[k]++
 					inside[k].Add(-1)
-				})
-				passages.Add(1)
+					tbl.Unlock(k)
+				}
+			}(w)
+		}
+		wg.Wait()
+		total := 0
+		for k := range counters {
+			total += counters[k]
+		}
+		if total != workers*iters {
+			t.Fatalf("counter sum = %d, want %d", total, workers*iters)
+		}
+		if !tbl.Quiesced() {
+			t.Fatal("table not quiesced after the stress")
+		}
+	})
+}
+
+// TestLockTableZipfCrashStress is the acceptance workload: 64 goroutines
+// over a 1M-key zipf distribution with crash injection, each passage run
+// through Do (the packaged reclaim-and-retry supervisor), against both
+// shard backends — the injected-crash sweep must prove the recovery
+// invariants per lock shape, not assume they transfer. Referees: per-key
+// holder exclusivity (atomic) and a per-key counter written only while
+// holding (race detector), plus full orphan reclamation at the end.
+func TestLockTableZipfCrashStress(t *testing.T) {
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		const workers = 64
+		const keys = 1 << 20
+		iters := 200
+		if testing.Short() {
+			iters = 40
+		}
+		tbl := rme.NewLockTable(16, 4, rme.WithTableSeed(99), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		var calls atomic.Uint64
+		var crashes atomic.Int64
+		tbl.SetCrashFunc(func(port int, point string) bool {
+			if xrand.Mix64(calls.Add(1))%1777 == 0 {
+				crashes.Add(1)
+				return true
 			}
-		}(w)
-	}
-	wg.Wait()
+			return false
+		})
+		inside := make([]atomic.Int32, keys)
+		counters := make([]int32, keys) // guarded by the keyed lock
+		var wg sync.WaitGroup
+		var passages atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				z := rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), 1.3, 1, keys-1)
+				for i := 0; i < iters; i++ {
+					k := z.Uint64()
+					tbl.Do(k, func() {
+						if inside[k].Add(1) != 1 {
+							t.Errorf("two holders of key %d", k)
+						}
+						counters[k]++
+						inside[k].Add(-1)
+					})
+					passages.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		tbl.SetCrashFunc(nil)
+		tbl.Reclaim() // final sweep for orphans whose worker finished its loop
+		if got := tbl.Orphans(); got != 0 {
+			t.Fatalf("%d orphaned ports left after the final sweep", got)
+		}
+		if !tbl.Quiesced() {
+			t.Fatal("table not quiesced after the storm")
+		}
+		var total int64
+		for k := range counters {
+			total += int64(counters[k])
+		}
+		if total != passages.Load() || total != int64(workers)*int64(iters) {
+			t.Fatalf("counter sum %d, passages %d, want %d", total, passages.Load(), int64(workers)*int64(iters))
+		}
+		if crashes.Load() == 0 {
+			t.Fatal("storm injected no crashes; the recovery paths were never exercised")
+		}
+	})
+}
+
+// TestLockTableTreeBackendReclaimWith is the tree-shard counterpart of
+// TestLockTableReclaimWith: the flat variant dies at L27 (still inside
+// the CS, Held true); the tree's release publishes its phase word first,
+// so dying at the tree-level T.down point models a worker that left the
+// CS but crashed with the whole release replay outstanding — every level
+// still held, Held already false. The sweep must report inCS=false, run
+// the replay, and leave the stripe fully usable.
+func TestLockTableTreeBackendReclaimWith(t *testing.T) {
+	tbl := rme.NewLockTable(2, 8, rme.WithTableSeed(3), rme.WithShardBackend(rme.TreeBackend))
+	const key = 1234
+	tbl.Lock(key)
+	tbl.SetCrashFunc(func(port int, point string) bool { return point == "T.down" })
+	func() {
+		defer func() {
+			if _, ok := rme.AsCrash(recover()); !ok {
+				t.Fatal("expected an injected crash during Unlock")
+			}
+		}()
+		tbl.Unlock(key)
+	}()
 	tbl.SetCrashFunc(nil)
-	tbl.Reclaim() // final sweep for orphans whose worker finished its loop
-	if got := tbl.Orphans(); got != 0 {
-		t.Fatalf("%d orphaned ports left after the final sweep", got)
+	if tbl.Held(key) {
+		t.Fatal("tree tenancy past T.down must not report Held (phase already left the CS)")
 	}
-	if !tbl.Quiesced() {
-		t.Fatal("table not quiesced after the storm")
+	var gotKey uint64
+	var gotInCS bool
+	if n := tbl.ReclaimWith(func(k uint64, inCS bool) { gotKey, gotInCS = k, inCS }); n != 1 {
+		t.Fatalf("ReclaimWith = %d, want 1", n)
 	}
-	var total int64
-	for k := range counters {
-		total += int64(counters[k])
+	if gotKey != key || gotInCS {
+		t.Fatalf("callback saw (key=%d, inCS=%v), want (%d, false)", gotKey, gotInCS, key)
 	}
-	if total != passages.Load() || total != int64(workers)*int64(iters) {
-		t.Fatalf("counter sum %d, passages %d, want %d", total, passages.Load(), int64(workers)*int64(iters))
+	if tbl.Held(key) || !tbl.Quiesced() {
+		t.Fatal("key not free after the sweep")
 	}
-	if crashes.Load() == 0 {
-		t.Fatal("storm injected no crashes; the recovery paths were never exercised")
-	}
+	tbl.Lock(key) // the reclaimed stripe must be fully usable
+	tbl.Unlock(key)
 }
 
 // TestLockTableReclaimWith pins the application-recovery hook: a worker
@@ -243,28 +335,33 @@ func TestLockTableReclaimWith(t *testing.T) {
 // TestLockTableZeroAllocPassage pins the acceptance claim: with the node
 // pool on, a warm crash-free keyed passage allocates nothing — lease
 // acquisition, key hashing (uint64 and string), locking, and release
-// included.
+// included — on both shard backends (the tree shape threads the same node
+// pools through every level, so a multi-level passage is as allocation-
+// free as a flat one; 8 ports gives the tree real depth here).
 func TestLockTableZeroAllocPassage(t *testing.T) {
-	tbl := rme.NewLockTable(4, 2, rme.WithTableSeed(5), rme.WithNodePool(true))
-	const key = 77
-	for i := 0; i < 8; i++ { // warm the node pools past their consume lag
-		tbl.Lock(key)
-		tbl.Unlock(key)
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		tbl.Lock(key)
-		tbl.Unlock(key)
-	}); avg != 0 {
-		t.Fatalf("uint64 keyed passage allocs = %v, want 0", avg)
-	}
-	for i := 0; i < 8; i++ {
-		tbl.LockString("warm/key")
-		tbl.UnlockString("warm/key")
-	}
-	if avg := testing.AllocsPerRun(200, func() {
-		tbl.LockString("warm/key")
-		tbl.UnlockString("warm/key")
-	}); avg != 0 {
-		t.Fatalf("string keyed passage allocs = %v, want 0", avg)
-	}
+	backendMatrix(t, func(t *testing.T, backend rme.ShardBackend) {
+		tbl := rme.NewLockTable(4, 8, rme.WithTableSeed(5), rme.WithNodePool(true),
+			rme.WithShardBackend(backend))
+		const key = 77
+		for i := 0; i < 8; i++ { // warm the node pools past their consume lag
+			tbl.Lock(key)
+			tbl.Unlock(key)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			tbl.Lock(key)
+			tbl.Unlock(key)
+		}); avg != 0 {
+			t.Fatalf("uint64 keyed passage allocs = %v, want 0", avg)
+		}
+		for i := 0; i < 8; i++ {
+			tbl.LockString("warm/key")
+			tbl.UnlockString("warm/key")
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			tbl.LockString("warm/key")
+			tbl.UnlockString("warm/key")
+		}); avg != 0 {
+			t.Fatalf("string keyed passage allocs = %v, want 0", avg)
+		}
+	})
 }

@@ -49,6 +49,8 @@ type config struct {
 	seedSet      bool
 	dispSpin     int
 	asyncPrewarm int
+	backend      ShardBackend
+	shardStrat   func(shard int) WaitStrategy
 }
 
 func buildConfig(opts []Option) config {
@@ -104,18 +106,61 @@ func WithDispatcherSpin(rounds int) Option {
 }
 
 // WithAsyncPrewarm pre-builds n async request nodes (each owning its
-// reusable grant channel) on the table's free list at construction, so
-// even the first LockAsync calls allocate nothing — for callers that pin
+// reusable grant channel) on every shard's free list at construction,
+// and starts every shard's dispatcher eagerly — for callers that pin
 // allocation budgets from the first request rather than steady state.
-// The steady-state behavior is unaffected: nodes are recycled and the
-// free list grows to the in-flight high-water mark either way. New and
-// NewTree ignore the option.
+// Request free lists are per shard, so the guarantee must be too: with
+// the prewarm in place, the calling side of LockAsync / LockAsyncFunc
+// allocates nothing even for a stripe's very first request (up to n in
+// flight per stripe). The lock protocol behind the dispatcher still
+// fills its own node pools over each stripe's first few passages, on the
+// dispatcher goroutine, exactly as any cold lock does.
+//
+// The up-front cost is Shards()×n request nodes plus one idle-parked
+// dispatcher goroutine per shard (which would otherwise start lazily on
+// the shard's first submission); Close winds the dispatchers down. The
+// steady-state behavior is unaffected: nodes are recycled and each free
+// list grows to its stripe's in-flight high-water mark either way. New
+// and NewTree ignore the option.
 func WithAsyncPrewarm(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.asyncPrewarm = n
 		}
 	}
+}
+
+// WithShardBackend selects the lock shape a LockTable builds its shards
+// from: the flat k-ported Mutex, the k-process arbitration TreeMutex, or
+// an automatic choice by port count. See ShardBackend for when each wins.
+// The default is AutoBackend. New and NewTree ignore the option.
+func WithShardBackend(b ShardBackend) Option {
+	return func(c *config) { c.backend = b }
+}
+
+// WithShardStrategy installs a per-shard wait-strategy hook on a
+// LockTable: fn is called once per shard at construction, and a non-nil
+// result overrides WithWaitStrategy for that shard's lock and lease pool
+// (a nil result keeps the table-wide strategy). This is how heterogeneous
+// arenas are built — e.g. the shards a load model says will be hot on
+// SpinWaitStrategy for the lowest handoff latency, the long cold tail on
+// SpinParkWaitStrategy so idle stripes cost parked goroutines rather than
+// burned quanta:
+//
+//	rme.NewLockTable(shards, ports, rme.WithShardStrategy(func(s int) rme.WaitStrategy {
+//		if hot(s) {
+//			return rme.SpinWaitStrategy()
+//		}
+//		return rme.SpinParkWaitStrategy(64)
+//	}))
+//
+// The hook shapes only how waiters pass the time; correctness (mutual
+// exclusion, crash recovery, the striping contracts) is identical across
+// strategies, so mixing them within one table is safe. The async
+// dispatchers' idle parking is not affected (it is always spin-then-park;
+// see WithDispatcherSpin). New and NewTree ignore the option.
+func WithShardStrategy(fn func(shard int) WaitStrategy) Option {
+	return func(c *config) { c.shardStrat = fn }
 }
 
 // WithTreeInstrumentation makes NewTree attach a WaitStats counter block

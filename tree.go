@@ -148,7 +148,15 @@ func NewTree(n int, opts ...Option) *TreeMutex {
 	return t
 }
 
-// Procs returns n, the number of process identities.
+// Ports returns n, the number of process identities — the same capacity
+// notion as Mutex.Ports, under the same exclusivity rule, so the two lock
+// shapes present one identity surface (LockTable's shard backends are
+// chosen through exactly this common face).
+func (t *TreeMutex) Ports() int { return t.n }
+
+// Procs is the paper-facing name for Ports: Section 3.3 speaks of n
+// processes on the arbitration tree where the flat algorithm speaks of
+// ports. The two are aliases; new code should prefer Ports.
 func (t *TreeMutex) Procs() int { return t.n }
 
 // Levels returns the tree height.
