@@ -23,6 +23,7 @@ import (
 	"github.com/rmelib/rme/internal/sched"
 	"github.com/rmelib/rme/internal/sigobj"
 	"github.com/rmelib/rme/internal/tree"
+	"github.com/rmelib/rme/internal/wait"
 	"github.com/rmelib/rme/internal/xrand"
 )
 
@@ -496,6 +497,40 @@ func BenchmarkE15TreeHandoff(b *testing.B) {
 				wakes += ls.Wakes.Load()
 			}
 			b.ReportMetric(float64(wakes)/float64(per*n), "wakes/passage")
+		})
+	}
+}
+
+// BenchmarkE18MCSHandoff measures the recoverable MCS queue lock under
+// contention — the O(1)-RMR backend of the three-way shard showdown —
+// with the wait engine's wake counter reported per passage. Read the
+// wakes/passage column against E15's: the MCS release wakes exactly the
+// queue successor (≤1 per passage at any port count), where the tree
+// climbs O(log n / log log n) levels and the committed baselines show
+// ~4x that.
+func BenchmarkE18MCSHandoff(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			var stats rme.WaitStats
+			m := rme.NewMCS(n, rme.WithWaitStrategy(
+				wait.Instrumented(rme.YieldWaitStrategy(), &stats)))
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N/n + 1
+			for w := 0; w < n; w++ {
+				wg.Add(1)
+				go func(port int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m.Lock(port)
+						runtime.Gosched() // CS work, as in internal/rtbench
+						m.Unlock(port)
+						runtime.Gosched()
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(stats.Wakes.Load())/float64(per*n), "wakes/passage")
 		})
 	}
 }

@@ -33,8 +33,8 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_async, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree); scenarios sharing a BENCH file should be regenerated together")
-		backend  = flag.String("backend", "", "with -json: force every keyed scenario onto this shard backend (flat, tree, auto) instead of each scenario's own — for ad-hoc backend comparisons; leave unset when regenerating committed baselines")
+		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_async, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree, keyed_mcs); scenarios sharing a BENCH file should be regenerated together")
+		backend  = flag.String("backend", "", "with -json: force every keyed scenario onto this shard backend (flat, tree, mcs, auto; case-insensitive) instead of each scenario's own — for ad-hoc backend comparisons; leave unset when regenerating committed baselines")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
 		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
@@ -379,12 +379,14 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("one-by-one against the same groups under DoBatch, per-key ns/op")
 	fmt.Println("in both so the batch amortization factor reads directly off the")
 	fmt.Println("file (≥2x on the committed baselines);")
-	fmt.Println("BENCH_keyed_tree.json for the shard-backend comparison — the")
-	fmt.Println("keyed_hiport / keyed_tree pair runs one 64-port-per-stripe")
-	fmt.Println("workload on flat and on arbitration-tree shards, so the tree's")
-	fmt.Println("per-level handoff cost at big k is a committed number (within a")
-	fmt.Println("few percent of flat under saturation on the committed run, at")
-	fmt.Println("~4x the wakes per passage); plus")
+	fmt.Println("BENCH_keyed_tree.json and BENCH_keyed_mcs.json for the")
+	fmt.Println("three-way shard-backend showdown — keyed_hiport, keyed_tree,")
+	fmt.Println("and keyed_mcs run one identical 64-port-per-stripe workload on")
+	fmt.Println("flat, arbitration-tree, and recoverable-MCS shards, so the")
+	fmt.Println("tree's per-level handoff cost and the MCS queue's single-wake")
+	fmt.Println("O(1) handoff at big k are committed numbers (on the committed")
+	fmt.Println("run the tree pays ~4x flat's wakes per passage while MCS stays")
+	fmt.Println("at ~1 wake per passage, below flat's broadcast); plus")
 	fmt.Println("BENCH_keyed_crash.json for the table under a deterministic")
 	fmt.Println("crash mix, kept out of the allocation gate because recovery")
 	fmt.Println("allocations are schedule-dependent) across the wait-strategy ×")
@@ -398,6 +400,6 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("re-runs the recorded scenarios and exits non-zero if allocs/op")
 	fmt.Println("rose at all or ns/op rose past the -tol threshold on a comparable")
 	fmt.Println("host (CI runs this as a smoke gate). `go test -bench . -benchmem`")
-	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E17).")
+	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E18).")
 	return failed
 }

@@ -95,11 +95,11 @@
 //
 // # Choosing a shard backend
 //
-// Each shard's lock is either the flat k-ported Mutex or a k-process
-// arbitration TreeMutex, selected by WithShardBackend; every keyed
-// contract (striping, recovery, zero-allocation warm passages, async and
-// batch) holds identically on both, so the choice is purely a
-// performance trade:
+// Each shard's lock is the flat k-ported Mutex, a k-process arbitration
+// TreeMutex, or the recoverable MCS queue lock MCSMutex, selected by
+// WithShardBackend; every keyed contract (striping, recovery,
+// zero-allocation warm passages, async and batch) holds identically on
+// all three, so the choice is purely a performance trade:
 //
 //   - The flat lock's crash-free passage is O(1) RMR — one queue entry,
 //     one handoff — and nothing beats it while recovery stays rare and
@@ -107,6 +107,16 @@
 //     repair scans all k ports and runs under a repair lock whose
 //     tournament is sized k, and every repair of the stripe serializes
 //     through that one lock.
+//   - The MCS queue lock keeps the O(1)-RMR passage — one CAS on the
+//     tail, one local spin, one single-word wake to exactly the
+//     successor (0.89 wakes per passage at k=64 on the committed
+//     BENCH_keyed_mcs.json, the lowest of the three backends) — and
+//     adds O(1) crash repair: recovery inspects only the crashed port's
+//     own node and its queue neighborhood, never a k-sized scan. Its
+//     cost is the enqueue/empty-release descriptor, a tiny serializing
+//     lock whose dead holder stalls every new arrival on the stripe
+//     until Reclaim runs, so a crash's blast radius is the whole stripe
+//     (see MCSMutex for the full argument).
 //   - The tree pays O(log k / log log k) levels per passage (visible as
 //     ~4x wakes per passage at k=64 in the committed
 //     BENCH_keyed_tree.json), but bounds every repair to one node of
@@ -117,9 +127,13 @@
 //     hides handoff latency; under spin-then-park with heavy
 //     oversubscription each extra level's wake is a park/unpark round
 //     trip, and the flat lock is clearly better.
-//   - AutoBackend (the default) draws the line at 32 ports per shard:
-//     flat below, tree above. Tables that know their recovery profile
-//     can override it either way; Backend() reports what was built.
+//   - AutoBackend (the default) draws two lines: flat up to 32 ports
+//     per shard (no descriptor tax, and a Θ(k) repair is cheap at small
+//     k), MCS from 33 to 256 (O(1) passage and O(1) repair carry the
+//     middle), tree past 256 (it confines a crash to one arity-sized
+//     node, where a dead MCS descriptor holder stalls all k ports'
+//     arrivals). Tables that know their recovery profile can override
+//     either line; Backend() reports what was built.
 //
 // Arenas can also be heterogeneous in wait strategy: WithShardStrategy
 // overrides the waiting discipline per shard (hot shards on

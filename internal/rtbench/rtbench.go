@@ -24,12 +24,15 @@
 // keyed_batch : keyed_hot8 ratio, ≥2x on the committed baselines). All
 // three are crash-free and inside the zero-allocation gate.
 //
-// The shard-backend comparison is BENCH_keyed_tree.json: keyed_hiport
-// and keyed_tree run one identical high-port-count workload on flat and
-// tree shards respectively, so the cost of the arbitration tree's
-// sub-logarithmic structure at big k is a committed, gate-pinned number
-// rather than a claim. Both cells are crash-free and inside the
-// zero-allocation gate.
+// The shard-backend comparison is a three-way showdown across two file
+// groups: keyed_hiport and keyed_tree (BENCH_keyed_tree.json) run one
+// identical high-port-count workload on flat and tree shards
+// respectively, and keyed_mcs (BENCH_keyed_mcs.json) runs the very same
+// workload on the recoverable MCS queue-lock shards, so the cost of the
+// tree's sub-logarithmic structure and the MCS lock's O(1) local-spin
+// hand-off at big k are committed, gate-pinned numbers rather than
+// claims. All three cells are crash-free and inside the zero-allocation
+// gate.
 //
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
@@ -46,6 +49,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,9 +73,10 @@ type Scenario struct {
 	// workload and arena.
 	Keyed bool
 	// Backend selects the keyed table's shard lock shape (flat Mutex,
-	// arbitration TreeMutex, or the port-count Auto default). Keyed
-	// scenarios only; the zero value is rme.AutoBackend, which keeps the
-	// long-standing scenarios on flat shards at their small port counts.
+	// arbitration TreeMutex, recoverable MCS queue lock, or the
+	// port-count Auto default). Keyed scenarios only; the zero value is
+	// rme.AutoBackend, which keeps the long-standing scenarios on flat
+	// shards at their small port counts.
 	Backend rme.ShardBackend
 	// Zipf draws keys zipf-distributed (hot-key contention) instead of
 	// uniformly. Keyed scenarios only.
@@ -218,6 +223,23 @@ func Scenarios() []Scenario {
 			SkipStrategies: []string{"spinpark"},
 		},
 		{
+			// Third leg of the backend showdown: the identical workload as
+			// keyed_hiport / keyed_tree on recoverable MCS queue-lock
+			// shards. Its own file group so the MCS baseline can be
+			// (re)generated and gate-pinned independently of the flat/tree
+			// pair; read the three files together. The MCS lock's single
+			// CAS-tail handoff keeps wakes/op at ~flat's single-handoff
+			// level while the queue removes the flat lock's wake-everyone
+			// broadcast, which is the regime this backend exists for.
+			Name: "keyed_mcs", File: "keyed_mcs", Keyed: true,
+			Ports:  func() int { return 64 },
+			Iters:  40_000,
+			Keys:   1 << 16,
+			Shards: 2, ShardPorts: 64,
+			Backend:        rme.MCSBackend,
+			SkipStrategies: []string{"spinpark"},
+		},
+		{
 			// Hot-stripe baseline for the batch cells: eight workers lock
 			// a single stripe's keys one at a time, paying the full
 			// per-acquisition overhead per key.
@@ -255,18 +277,21 @@ const (
 // StrategyNames returns the strategy axis, in report order.
 func StrategyNames() []string { return []string{"yield", "spin", "spinpark"} }
 
-// ParseBackend maps a command-line backend name to the option value —
-// the vocabulary cmd/rmebench's -backend flag accepts.
+// ParseBackend maps a command-line backend name (case-insensitive) to
+// the option value — the vocabulary cmd/rmebench's -backend flag
+// accepts.
 func ParseBackend(name string) (rme.ShardBackend, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "flat":
 		return rme.FlatBackend, nil
 	case "tree":
 		return rme.TreeBackend, nil
+	case "mcs":
+		return rme.MCSBackend, nil
 	case "auto":
 		return rme.AutoBackend, nil
 	}
-	return rme.AutoBackend, fmt.Errorf("unknown shard backend %q (have: flat, tree, auto)", name)
+	return rme.AutoBackend, fmt.Errorf("unknown shard backend %q (have: flat, tree, mcs, auto)", name)
 }
 
 func strategyByName(name string) rme.WaitStrategy {
@@ -316,7 +341,7 @@ type Sample struct {
 	// and Batch make the keyed pipeline cells self-describing: Async
 	// marks LockAsync completion passages, Batch > 1 records the DoBatch
 	// group size (ns/op stays per key). Backend records the resolved
-	// shard lock shape ("flat" or "tree").
+	// shard lock shape ("flat", "tree", or "mcs").
 	Keys    uint64 `json:"keys,omitempty"`
 	Crashes uint64 `json:"crashes,omitempty"`
 	Async   bool   `json:"async,omitempty"`
@@ -513,12 +538,15 @@ func forEachWorker(workers, total int, body func(w, n int)) {
 // counters, so they include the per-run worker spawns — amortized over the
 // passage count, that bias is < 0.01/op at the configured scales.
 //
-// Flat and keyed scenarios wrap the strategy with one global
-// wait.Instrumented; tree scenarios instead instrument per level
-// (WithTreeInstrumentation) and report the global counters as the sum over
-// levels, so a wake is never double-counted. Keyed warm-ups always run
-// crash-free (they exist to fill the pools); the crash mix, if any, is
-// confined to the measured pass.
+// Flat scenarios wrap the strategy with one global wait.Instrumented;
+// tree scenarios instead instrument per level (WithTreeInstrumentation)
+// and report the global counters as the sum over levels, so a wake is
+// never double-counted. Keyed scenarios read the table's own per-stripe
+// collectors (LockTable.Stats) as warm-to-measured deltas: the table
+// instruments every shard's strategy itself with the outermost wrap, so
+// a caller-side wrap would never see the table's waits. Keyed warm-ups
+// always run crash-free (they exist to fill the pools); the crash mix,
+// if any, is confined to the measured pass.
 func Run(sc Scenario, strategy string, pool bool) Sample {
 	ports := sc.Ports()
 	stats := &wait.Stats{}
@@ -533,9 +561,8 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 			rme.WithTreeInstrumentation(true))
 		lk = tm
 	case sc.Keyed:
-		st := wait.Instrumented(strategyByName(strategy), stats)
 		tbl = rme.NewLockTable(sc.Shards, sc.ShardPorts,
-			rme.WithWaitStrategy(st), rme.WithNodePool(pool),
+			rme.WithWaitStrategy(strategyByName(strategy)), rme.WithNodePool(pool),
 			rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend))
 	default:
 		st := wait.Instrumented(strategyByName(strategy), stats)
@@ -556,6 +583,10 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		for _, ls := range tm.LevelStats() {
 			ls.Reset()
 		}
+	}
+	var keyedBase rme.ShardStats
+	if tbl != nil {
+		keyedBase = tbl.Stats().Total() // subtract the warm-up's events
 	}
 	var crashCount atomic.Uint64
 	if tbl != nil && sc.CrashEvery > 0 {
@@ -603,6 +634,12 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		s.Async = sc.Async
 		s.Batch = sc.Batch
 		s.Backend = tbl.Backend().String()
+		d := tbl.Stats().Total()
+		stats.Publishes.Store(d.Publishes - keyedBase.Publishes)
+		stats.Sleeps.Store(d.Sleeps - keyedBase.Sleeps)
+		stats.Wakes.Store(d.Wakes - keyedBase.Wakes)
+		stats.Parks.Store(d.Parks - keyedBase.Parks)
+		stats.SpinRounds.Store(d.SpinRounds - keyedBase.SpinRounds)
 		tbl.Close() // stop the cell's dispatchers before the next cell runs
 	}
 	if tm != nil {

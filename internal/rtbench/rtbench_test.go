@@ -1,6 +1,10 @@
 package rtbench
 
-import "testing"
+import (
+	"testing"
+
+	rme "github.com/rmelib/rme"
+)
 
 // TestRunCell smokes one matrix cell and pins the headline pooling claim:
 // warm uncontended passages with the node pool allocate nothing (the
@@ -93,5 +97,66 @@ func TestRunKeyedCell(t *testing.T) {
 	s = Run(crash, "yield", true)
 	if s.Crashes == 0 {
 		t.Fatal("crash-mix cell injected no crashes")
+	}
+}
+
+// TestRunKeyedMCSCell smokes the MCS leg of the backend showdown: the
+// sample must record the mcs backend, stay inside the zero-allocation
+// gate, and carry live wait-engine counters — keyed cells read the
+// table's own per-stripe collectors (LockTable.Stats), and a regression
+// to caller-side wrapping would silently zero every RMR-proxy column
+// because the table's own instrumentation wrap is outermost.
+func TestRunKeyedMCSCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full measurement pass")
+	}
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "keyed_mcs" {
+			sc = s
+		}
+	}
+	if !sc.Keyed || sc.Backend != rme.MCSBackend || sc.FileName() != "keyed_mcs" {
+		t.Fatalf("keyed_mcs scenario shape wrong: %+v", sc)
+	}
+	// Keep the scenario's configured passage count: the harness's own
+	// 64 worker spawns amortize below the 0.01/op gate only at full
+	// scale (observed 0.026/op when cut to 10k passages).
+	s := Run(sc, "yield", true)
+	if s.Backend != "mcs" {
+		t.Fatalf("sample backend = %q, want mcs", s.Backend)
+	}
+	if s.AllocsPerOp >= 0.01 {
+		t.Fatalf("crash-free MCS keyed pooled AllocsPerOp = %v, want ~0", s.AllocsPerOp)
+	}
+	// 64 workers on 2 stripes are always queued; a zero here means the
+	// counters were not collected, not that nothing blocked.
+	if s.WakesPerOp <= 0 || s.SleepsPerOp <= 0 {
+		t.Fatalf("MCS keyed cell carries no wait counters: %+v", s)
+	}
+}
+
+// TestParseBackend pins the -backend vocabulary: all four names, case
+// folded, and an enumerating error for anything else.
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want rme.ShardBackend
+	}{
+		{"flat", rme.FlatBackend},
+		{"tree", rme.TreeBackend},
+		{"mcs", rme.MCSBackend},
+		{"auto", rme.AutoBackend},
+		{"MCS", rme.MCSBackend},
+		{"Tree", rme.TreeBackend},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseBackend("bogus"); err == nil {
+		t.Fatal("ParseBackend(bogus) succeeded, want enumerating error")
 	}
 }

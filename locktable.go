@@ -54,14 +54,15 @@ import (
 //
 // # Shard backends
 //
-// Each shard's lock is one of the library's two recoverable lock shapes,
-// selected at construction by WithShardBackend (see ShardBackend): the
-// flat k-ported Mutex, the arbitration-tree TreeMutex, or an automatic
-// choice by port count. Every keyed contract in this file — striping,
-// orphan recovery, zero-allocation warm passages, async and batch
-// acquisition — is backend-independent: both shapes satisfy the same
-// portLock surface and the same crash-recovery story, and the test suite
-// proves the invariants against each.
+// Each shard's lock is one of the library's three recoverable lock
+// shapes, selected at construction by WithShardBackend (see
+// ShardBackend): the flat k-ported Mutex, the arbitration-tree TreeMutex,
+// the recoverable MCS queue lock MCSMutex, or an automatic choice by port
+// count. Every keyed contract in this file — striping, orphan recovery,
+// zero-allocation warm passages, async and batch acquisition — is
+// backend-independent: all shapes satisfy the same portLock surface and
+// the same crash-recovery story, and the test suite proves the invariants
+// against each.
 //
 // A LockTable must be created with NewLockTable. All methods are safe for
 // concurrent use; the per-key contract is the usual one (Unlock a key only
@@ -70,7 +71,7 @@ type LockTable struct {
 	shards  []lockShard
 	seed    uint64
 	ports   int
-	backend ShardBackend // resolved: FlatBackend or TreeBackend, never Auto
+	backend ShardBackend // resolved to a concrete shape, never Auto
 
 	// strat and dispSpin configure the async dispatchers (see
 	// locktable_async.go): the wait strategy their idle parks and lease
@@ -92,10 +93,10 @@ type LockTable struct {
 // wait-free critical-section re-entry after a crash (Lock on the dead
 // identity's port recovers its passage), a Held probe for
 // died-in-critical-section detection, and the labeled crash-injection
-// hook. Mutex (ports) and TreeMutex (process indices) both satisfy it;
-// everything above the shard — leases, striping, reclaim sweeps, the
-// async and batch pipelines — is written against this surface only, so
-// the two shapes are interchangeable per arena.
+// hook. Mutex (ports), TreeMutex (process indices), and MCSMutex (queue
+// nodes) all satisfy it; everything above the shard — leases, striping,
+// reclaim sweeps, the async and batch pipelines — is written against this
+// surface only, so the shapes are interchangeable per arena.
 type portLock interface {
 	Lock(port int)
 	Unlock(port int)
@@ -114,15 +115,11 @@ var (
 type ShardBackend int
 
 const (
-	// AutoBackend (the default) picks by port count: FlatBackend up to
-	// autoTreePortThreshold ports per shard, TreeBackend past it. The
-	// crossover follows the two shapes' cost structure — the flat lock's
-	// crash-free passage is O(1) RMR, unbeatable while its recovery
-	// machinery stays cheap, but its queue repair scans all k ports under
-	// one serialized repair lock and its tournament is sized k, so repair
-	// cost grows linearly with the port count; the tree bounds every
-	// repair to one arity-sized node and pays O(log k / log log k) levels
-	// per passage instead.
+	// AutoBackend (the default) picks by port count — a three-way
+	// decision among the shapes' cost structures: FlatBackend up to
+	// autoFlatPortThreshold ports per shard, MCSBackend from there to
+	// autoMCSPortThreshold, TreeBackend past that. See the two threshold
+	// constants for the rationale at each crossover.
 	AutoBackend ShardBackend = iota
 	// FlatBackend builds each shard from one flat k-ported Mutex — O(1)
 	// RMR crash-free passages, Θ(k) queue repair on recovery.
@@ -132,14 +129,37 @@ const (
 	// confined to one Θ(log k / log log k)-ported node, the paper's
 	// Section 3.3 trade for large process counts.
 	TreeBackend
+	// MCSBackend builds each shard from a recoverable MCS queue lock
+	// (MCSMutex) — O(1) RMR local-spin passages like the flat lock, but
+	// with crash recovery confined to the O(1) neighborhood of the dead
+	// node (predecessor re-link plus successor grant) instead of the flat
+	// lock's Θ(k) port-table scan. Arrivals pay one short locked-descriptor
+	// section per enqueue; see MCSMutex for the correctness argument.
+	MCSBackend
 )
 
-// autoTreePortThreshold is where AutoBackend switches from flat shards to
-// tree shards: past this many ports, a single crash's Θ(k) repair scan
-// (serialized against every other repair of the stripe by the flat lock's
-// k-sized tournament) costs more than the tree's extra per-passage levels
-// amortized across passages.
-const autoTreePortThreshold = 32
+// AutoBackend's crossovers. The decision weighs three costs: per-passage
+// RMR, per-crash repair, and the enqueue-path overhead a shape charges
+// crash-free callers.
+const (
+	// autoFlatPortThreshold is where AutoBackend stops choosing flat
+	// shards. Up to this many ports the flat Mutex wins on simplicity:
+	// its crash-free passage is O(1) RMR with no per-arrival descriptor
+	// tax, and its Θ(k) repair scan is cheap while k is small. Past it,
+	// the repair scan — serialized against every other repair of the
+	// stripe by the flat lock's k-sized tournament — starts to dominate
+	// crashy workloads, and MCS's constant-cost repair takes over.
+	autoFlatPortThreshold = 32
+	// autoMCSPortThreshold is where AutoBackend stops choosing MCS shards.
+	// MCS keeps both the passage and the repair O(1), but a crash inside
+	// its enqueue descriptor stalls every arrival of the stripe until the
+	// orphan is reclaimed, and the blast radius of that stall grows with
+	// the port count. Past this many ports the tree's bounded-blast-radius
+	// story wins: each crash is confined to one arity-sized node, so the
+	// stripe keeps admitting arrivals through its other subtrees at the
+	// price of O(log k / log log k) levels per passage.
+	autoMCSPortThreshold = 256
+)
 
 func (b ShardBackend) String() string {
 	switch b {
@@ -149,6 +169,8 @@ func (b ShardBackend) String() string {
 		return "flat"
 	case TreeBackend:
 		return "tree"
+	case MCSBackend:
+		return "mcs"
 	}
 	return fmt.Sprintf("ShardBackend(%d)", int(b))
 }
@@ -158,15 +180,19 @@ func (b ShardBackend) resolve(ports int) ShardBackend {
 	if b != AutoBackend {
 		return b
 	}
-	if ports > autoTreePortThreshold {
+	switch {
+	case ports <= autoFlatPortThreshold:
+		return FlatBackend
+	case ports <= autoMCSPortThreshold:
+		return MCSBackend
+	default:
 		return TreeBackend
 	}
-	return FlatBackend
 }
 
-// lockShard is one stripe: a k-ported recoverable lock (flat or tree —
-// see portLock), the lease pool multiplexing workers onto its ports, and
-// the key each leased port is currently locking.
+// lockShard is one stripe: a k-ported recoverable lock (flat, tree, or
+// MCS — see portLock), the lease pool multiplexing workers onto its ports,
+// and the key each leased port is currently locking.
 type lockShard struct {
 	m    portLock
 	pool *PortLeaser
@@ -174,6 +200,13 @@ type lockShard struct {
 	// lease acquisition and the port's Lock, read by Held/Unlock scans.
 	// Only meaningful while the port's lease is not free.
 	key []atomic.Uint64
+	// stats collects the stripe's wait-engine events: the table wraps
+	// every shard's wait strategy with wait.Instrumented at construction,
+	// so Wakes here is the stripe's RMR proxy (see LockTable.Stats).
+	stats *wait.Stats
+	// acquires counts completed tenancy acquisitions of the stripe —
+	// sync, async, and batch — the "ops" denominator of Stats' wakes/op.
+	acquires atomic.Uint64
 	// disp is the stripe's async acquisition dispatcher (lazily started;
 	// see locktable_async.go); reqMu/reqFree are its recycled request
 	// nodes, per shard so independent stripes' pipelines do not contend
@@ -220,25 +253,37 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 		dispSpin: cfg.dispSpin,
 	}
 	for i := range t.shards {
-		shOpts := opts
+		// Resolve the shard's effective strategy (table-wide, or the
+		// WithShardStrategy override), then wrap it with the stripe's
+		// stats collector — the counters LockTable.Stats reports. The
+		// wrap is outermost, so a caller-instrumented strategy's own sink
+		// is superseded per episode; read the table's Stats instead of
+		// wrapping when the table is the thing being measured.
+		eff := cfg.strat
 		if cfg.shardStrat != nil {
 			if s := cfg.shardStrat(i); s != nil {
-				// Append after the caller's options so the per-shard
-				// strategy wins over a table-wide WithWaitStrategy.
-				shOpts = append(append(make([]Option, 0, len(opts)+1), opts...),
-					WithWaitStrategy(s))
+				eff = s
 			}
 		}
+		stats := &wait.Stats{}
+		// Append after the caller's options so the instrumented strategy
+		// wins over a table-wide WithWaitStrategy.
+		shOpts := append(append(make([]Option, 0, len(opts)+1), opts...),
+			WithWaitStrategy(wait.Instrumented(eff, stats)))
 		var m portLock
-		if backend == TreeBackend {
+		switch backend {
+		case TreeBackend:
 			m = NewTree(ports, shOpts...)
-		} else {
+		case MCSBackend:
+			m = NewMCS(ports, shOpts...)
+		default:
 			m = New(ports, shOpts...)
 		}
 		t.shards[i] = lockShard{
-			m:    m,
-			pool: NewPortLeaser(ports, shOpts...),
-			key:  make([]atomic.Uint64, ports),
+			m:     m,
+			pool:  NewPortLeaser(ports, shOpts...),
+			key:   make([]atomic.Uint64, ports),
+			stats: stats,
 		}
 	}
 	if cfg.asyncPrewarm > 0 {
@@ -263,9 +308,97 @@ func (t *LockTable) Shards() int { return len(t.shards) }
 func (t *LockTable) Ports() int { return t.ports }
 
 // Backend returns the lock shape the table's shards were built from:
-// FlatBackend or TreeBackend (an AutoBackend request is resolved at
-// construction and reported as whichever shape it chose).
+// FlatBackend, TreeBackend, or MCSBackend (an AutoBackend request is
+// resolved at construction and reported as whichever shape it chose).
 func (t *LockTable) Backend() ShardBackend { return t.backend }
+
+// ShardStats is one stripe's observability snapshot; see LockTable.Stats.
+type ShardStats struct {
+	// Acquires counts completed tenancy acquisitions of the stripe —
+	// synchronous, asynchronous, and batch — the "ops" denominator.
+	Acquires uint64
+	// Publishes / Wakes / Sleeps / Parks / SpinRounds are the stripe's
+	// wait-engine event counters (see WaitStats): every blocking wait of
+	// the stripe — lock hand-offs, lease waits — reports here. Wakes is
+	// the RMR proxy on a CC machine: each wake is one remote write to
+	// another goroutine's spin word.
+	Publishes  uint64
+	Wakes      uint64
+	Sleeps     uint64
+	Parks      uint64
+	SpinRounds uint64
+	// Orphans counts ports whose lessee died and whose recovery has not
+	// finished (the per-stripe slice of LockTable.Orphans).
+	Orphans int
+	// InboxDepth is the async dispatcher's current backlog: requests
+	// submitted but not yet swapped into a delivery batch.
+	InboxDepth int
+}
+
+// WakesPerOp returns the stripe's wake count per completed acquisition —
+// the per-op RMR proxy Auto's thresholds are judged by. Zero when the
+// stripe has completed no acquisitions.
+func (s ShardStats) WakesPerOp() float64 {
+	if s.Acquires == 0 {
+		return 0
+	}
+	return float64(s.Wakes) / float64(s.Acquires)
+}
+
+// TableStats is the table-wide observability snapshot: one ShardStats per
+// stripe, in shard order.
+type TableStats struct {
+	Shards []ShardStats
+}
+
+// Total aggregates every stripe's counters into one ShardStats.
+func (ts TableStats) Total() ShardStats {
+	var sum ShardStats
+	for _, s := range ts.Shards {
+		sum.Acquires += s.Acquires
+		sum.Publishes += s.Publishes
+		sum.Wakes += s.Wakes
+		sum.Sleeps += s.Sleeps
+		sum.Parks += s.Parks
+		sum.SpinRounds += s.SpinRounds
+		sum.Orphans += s.Orphans
+		sum.InboxDepth += s.InboxDepth
+	}
+	return sum
+}
+
+// Stats returns a racy snapshot of the table's per-stripe observability
+// counters: completed acquisitions, wait-engine events (wakes per op is
+// the RMR proxy), pending orphans, and async inbox depth. The counters
+// are cheap enough to leave always on — wait events are counted only on
+// blocking episodes, which crash-free uncontended passages never open —
+// so Stats can be polled from a monitoring loop in production.
+//
+// Because the table instruments every shard's strategy itself (the wrap
+// is outermost), wrapping a strategy with your own instrumentation before
+// passing it to NewLockTable will not observe the table's waits; poll
+// Stats instead.
+func (t *LockTable) Stats() TableStats {
+	ts := TableStats{Shards: make([]ShardStats, len(t.shards))}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		s := &ts.Shards[i]
+		s.Acquires = sh.acquires.Load()
+		s.Publishes = sh.stats.Publishes.Load()
+		s.Wakes = sh.stats.Wakes.Load()
+		s.Sleeps = sh.stats.Sleeps.Load()
+		s.Parks = sh.stats.Parks.Load()
+		s.SpinRounds = sh.stats.SpinRounds.Load()
+		for p := 0; p < sh.pool.Ports(); p++ {
+			switch sh.pool.State(p) {
+			case LeaseOrphaned, LeaseReclaiming:
+				s.Orphans++
+			}
+		}
+		s.InboxDepth = int(sh.disp.depth.Load())
+	}
+	return ts
+}
 
 // ShardIndex returns the stripe key maps to, computed as the seeded
 // splitmix64 finalizer of key XOR the table's seed, reduced mod Shards().
@@ -339,6 +472,7 @@ func (t *LockTable) LockString(key string) { t.Lock(hashString(key)) }
 func (sh *lockShard) lockPort(l PortLease) {
 	defer sh.pool.orphanGuard(l)
 	sh.m.Lock(l.Port)
+	sh.acquires.Add(1)
 }
 
 func (sh *lockShard) unlockPort(l PortLease) {

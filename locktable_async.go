@@ -132,6 +132,10 @@ type dispatcher struct {
 	// started flips once, when the goroutine is spawned — by the stripe's
 	// first request, or eagerly at construction under WithAsyncPrewarm.
 	started atomic.Bool
+	// depth tracks the inbox backlog — submissions not yet swapped into a
+	// delivery batch — for LockTable.Stats; the racy inbox list itself is
+	// never walked.
+	depth atomic.Int64
 	// pollCond is the park condition, bound once at start so idle parking
 	// does not allocate a closure per episode.
 	pollCond func() bool
@@ -228,6 +232,7 @@ func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
 			break
 		}
 	}
+	d.depth.Add(1)
 	t.startDispatcher(sh)
 	d.cell.Wake()
 	if t.closed.Load() {
@@ -338,12 +343,15 @@ func (t *LockTable) deliverBatch(sh *lockShard) bool {
 	// The inbox is push-LIFO; reverse the drained burst to FIFO so
 	// grants go out in submission order.
 	var fifo *asyncReq
+	n := int64(0)
 	for head != nil {
 		next := head.next
 		head.next = fifo
 		fifo = head
 		head = next
+		n++
 	}
+	d.depth.Add(-n)
 	for fifo != nil {
 		r := fifo
 		fifo = r.next

@@ -145,6 +145,7 @@ func (b *Batch) lockAll() {
 		// stripe in the held set.
 		b.stripes = append(b.stripes, batchStripe{sh: sh, l: l})
 		sh.m.Lock(l.Port)
+		sh.acquires.Add(1)
 		i = j
 	}
 }

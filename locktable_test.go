@@ -14,16 +14,17 @@ import (
 // backendMatrix runs f once per shard-lock backend, so every keyed
 // invariant the suite pins — mutual exclusion, crash recovery,
 // zero-allocation warm passages, async and batch semantics — is proven
-// against both lock shapes rather than assumed to transfer.
+// against all three lock shapes rather than assumed to transfer.
 func backendMatrix(t *testing.T, f func(t *testing.T, backend rme.ShardBackend)) {
-	for _, b := range []rme.ShardBackend{rme.FlatBackend, rme.TreeBackend} {
+	for _, b := range []rme.ShardBackend{rme.FlatBackend, rme.TreeBackend, rme.MCSBackend} {
 		t.Run(b.String(), func(t *testing.T) { f(t, b) })
 	}
 }
 
 // TestLockTableBackendResolution pins WithShardBackend's contract: the
 // explicit shapes are honored at any port count, and Auto (the default)
-// switches to tree shards past the documented threshold.
+// makes its three-way choice at the documented thresholds — flat up to
+// 32 ports, MCS from 33 to 256, tree past 256.
 func TestLockTableBackendResolution(t *testing.T) {
 	tests := []struct {
 		name  string
@@ -33,9 +34,12 @@ func TestLockTableBackendResolution(t *testing.T) {
 	}{
 		{"default small is flat", 4, nil, rme.FlatBackend},
 		{"auto small is flat", 32, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.FlatBackend},
-		{"auto large is tree", 33, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.TreeBackend},
+		{"auto mid is mcs", 33, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.MCSBackend},
+		{"auto mid upper is mcs", 256, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.MCSBackend},
+		{"auto large is tree", 257, []rme.Option{rme.WithShardBackend(rme.AutoBackend)}, rme.TreeBackend},
 		{"explicit flat at any size", 64, []rme.Option{rme.WithShardBackend(rme.FlatBackend)}, rme.FlatBackend},
 		{"explicit tree at any size", 2, []rme.Option{rme.WithShardBackend(rme.TreeBackend)}, rme.TreeBackend},
+		{"explicit mcs at any size", 2, []rme.Option{rme.WithShardBackend(rme.MCSBackend)}, rme.MCSBackend},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

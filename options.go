@@ -131,9 +131,10 @@ func WithAsyncPrewarm(n int) Option {
 }
 
 // WithShardBackend selects the lock shape a LockTable builds its shards
-// from: the flat k-ported Mutex, the k-process arbitration TreeMutex, or
-// an automatic choice by port count. See ShardBackend for when each wins.
-// The default is AutoBackend. New and NewTree ignore the option.
+// from: the flat k-ported Mutex, the k-process arbitration TreeMutex, the
+// recoverable MCS queue lock MCSMutex, or an automatic choice by port
+// count. See ShardBackend for when each wins. The default is AutoBackend.
+// New, NewTree, and NewMCS ignore the option.
 func WithShardBackend(b ShardBackend) Option {
 	return func(c *config) { c.backend = b }
 }
