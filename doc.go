@@ -91,7 +91,10 @@
 // stripe's critical section or stall the queue behind it — so supervisors
 // should sweep promptly after observing a death, exactly as RME's
 // progress guarantees assume crashed processes restart. See
-// examples/locktable for the full pattern under a crash storm.
+// examples/locktable for the full pattern under a crash storm. Callers
+// with a latency budget rather than a liveness obligation should use the
+// abortable tier — TryLock and LockContext — described under "Deadlines,
+// TryLock, and aborts" below.
 //
 // # Choosing a shard backend
 //
@@ -181,6 +184,42 @@
 // allocate nothing once pools are warm (amortized over the batch for
 // DoBatch); WithDispatcherSpin and WithAsyncPrewarm tune the dispatcher's
 // idle behavior and first-request allocations.
+//
+// # Deadlines, TryLock, and aborts
+//
+// Every blocking keyed entry point has a deadline-aware twin: TryLock
+// returns immediately with a boolean, LockContext / LockBatchContext /
+// LockAsyncContext observe a context's cancellation or deadline. The
+// design rule that makes abort safe in a recoverable lock is
+// abort-as-cooperative-crash: a cancelled waiter leaves its protocol
+// state exactly as if it had crashed at its current step, then runs the
+// recovery pass itself (a background Lock/Unlock on the abandoned port)
+// instead of waiting for a supervisor's Reclaim. The caller gets its
+// error immediately; the stripe heals cooperatively; no sweep is needed
+// and nothing is stranded. Two invariants hold on every backend:
+//
+//   - No lost wakes. A waiter that cancels races the wake handout; if a
+//     wake lands on the departing waiter it is absorbed and forwarded to
+//     the next waiter, never dropped, so cancellation can never park an
+//     innocent neighbor forever.
+//   - Exactly-once settlement. A context that fires after the lock was
+//     already won is still honored: LockContext returns nil (the caller
+//     owns the key and must Unlock), and a LockAsyncContext grant that
+//     loses the delivery race to cancellation is auto-abandoned into the
+//     ordinary orphan/reclaim machinery — so an async table using
+//     cancellation needs the same periodic Reclaim supervisor an async
+//     table using crashes does.
+//
+// TryLock is allocation-free and conservative: it may return false under
+// momentary contention (it refuses to queue), but true always means the
+// key is held. LockBatchContext is all-or-nothing — a deadline mid-batch
+// releases every stripe already acquired, in ShardIndex order, before
+// returning the error. Sheds are counted per stripe in ShardStats
+// (Timeouts for context.DeadlineExceeded, Aborts for everything else);
+// TryLock misses are not sheds and are not counted. The committed
+// BENCH_keyed_abort.json baseline pins the tier's costs: both the
+// crash-free grant path and the deterministic pre-expired shed stay
+// inside the zero-allocation gate on all three backends.
 //
 // # Crash injection
 //

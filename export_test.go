@@ -1,0 +1,10 @@
+package rme
+
+// Test-only bridge for the external (rme_test) suite.
+
+// SetNoAbortFixup toggles the hazard hook that disables the cooperative
+// abort fix-up, so the regression tests can reproduce both failure modes it
+// prevents: the stranded stripe (a cancelled waiter parked as an orphan mid
+// -queue) and the leaked grant (a cancelled-but-granted async request whose
+// tenancy is dropped held). Production code never flips this.
+func (t *LockTable) SetNoAbortFixup(on bool) { t.noAbortFixup.Store(on) }

@@ -46,6 +46,7 @@
 package rtbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -103,6 +104,12 @@ type Scenario struct {
 	// based); the workers recover with the reclaim-and-retry supervisor
 	// pattern. Keyed scenarios only.
 	CrashEvery uint64
+	// AbortEvery, when non-zero, drives the table through LockContext and
+	// sheds every AbortEvery-th passage with a pre-expired deadline (the
+	// deterministic zero-allocation shed path); the rest acquire under a
+	// live cancellable context, so the whole cancel plumbing is on the
+	// measured path. Keyed scenarios only, crash-free only.
+	AbortEvery uint64
 	// Ports returns the port count (= worker goroutines), which may
 	// depend on GOMAXPROCS.
 	Ports func() int
@@ -173,6 +180,43 @@ func Scenarios() []Scenario {
 			Keys:   1 << 20,
 			Shards: 32, ShardPorts: 4,
 			CrashEvery: 4096,
+		},
+		{
+			// The abort tier under zipf traffic, one cell per shard
+			// backend (BENCH_keyed_abort.json): every passage goes through
+			// LockContext — live cancellable context on the grant path, a
+			// pre-expired deadline on every 100th (a 1% shed rate) — so
+			// the deadline-aware entry point's cost sits directly against
+			// keyed_zipf's plain Lock numbers. Both the crash-free grant
+			// passages and the deterministic pre-expired sheds allocate
+			// nothing, so unlike keyed_crash this file group IS inside the
+			// allocs/op gate: a cancel path that starts allocating fails
+			// CI, which is the point of committing it.
+			Name: "keyed_abort", File: "keyed_abort", Keyed: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  30_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+			AbortEvery: 100,
+			Backend:    rme.FlatBackend,
+		},
+		{
+			Name: "keyed_abort_tree", File: "keyed_abort", Keyed: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  30_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+			AbortEvery: 100,
+			Backend:    rme.TreeBackend,
+		},
+		{
+			Name: "keyed_abort_mcs", File: "keyed_abort", Keyed: true, Zipf: true,
+			Ports:  func() int { return 16 },
+			Iters:  30_000,
+			Keys:   1 << 20,
+			Shards: 32, ShardPorts: 4,
+			AbortEvery: 100,
+			Backend:    rme.MCSBackend,
 		},
 		{
 			// The async pipeline under the same zipf traffic as
@@ -347,6 +391,10 @@ type Sample struct {
 	Async   bool   `json:"async,omitempty"`
 	Batch   int    `json:"batch,omitempty"`
 	Backend string `json:"backend,omitempty"`
+	// ShedsPerOp records cancelled/expired acquisitions per passage
+	// (ShardStats.Aborts + Timeouts as a warm-to-measured delta) — the
+	// abort cells' self-description, ~1/AbortEvery by construction.
+	ShedsPerOp float64 `json:"sheds_per_op,omitempty"`
 }
 
 // locker is the common surface of Mutex and TreeMutex the harness drives.
@@ -413,6 +461,38 @@ func keyStream(w int, zipfian bool, keys uint64) func() uint64 {
 	}
 	r := xrand.New(uint64(w)*0x9e3779b97f4a7c15 + 1)
 	return func() uint64 { return r.Uint64() % keys }
+}
+
+// RunAbortKeyedPassages drives total passages through the deadline-aware
+// entry point: every abortEvery-th passage presents a pre-expired deadline
+// and is shed at the door (the deterministic zero-allocation abort path),
+// every other passage acquires under a live cancellable context — the full
+// cancel plumbing (cancellable lease wait, cancellable queue wait) on the
+// grant path — and releases normally. Key streams match RunKeyedPassages,
+// so the cells read directly against the blocking ones.
+func RunAbortKeyedPassages(tbl *rme.LockTable, workers, total int, zipfian bool, keys, abortEvery uint64) {
+	expired, cancelExpired := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancelExpired()
+	forEachWorker(workers, total, func(w, n int) {
+		live, cancelLive := context.WithCancel(context.Background())
+		defer cancelLive()
+		nextKey := keyStream(w, zipfian, keys)
+		for i := 0; i < n; i++ {
+			k := nextKey()
+			if abortEvery > 0 && uint64(i)%abortEvery == abortEvery-1 {
+				if tbl.LockContext(expired, k) == nil {
+					panic("rtbench: pre-expired context was granted")
+				}
+				continue
+			}
+			if err := tbl.LockContext(live, k); err != nil {
+				panic(fmt.Sprintf("rtbench: live context shed: %v", err))
+			}
+			runtime.Gosched() // critical-section work
+			tbl.Unlock(k)
+			runtime.Gosched() // non-critical-section work
+		}
+	})
 }
 
 // RunAsyncKeyedPassages drives total completion-based passages split
@@ -485,6 +565,13 @@ func nopPerKey(uint64) {}
 // selects; warm-up and measured passes go through the same path.
 func runKeyed(tbl *rme.LockTable, sc Scenario, total int, crashing bool) {
 	switch {
+	case sc.AbortEvery > 0:
+		if crashing {
+			// The abort runner has no crash-absorbing supervisor either;
+			// refuse the combination like the async and hot runners do.
+			panic(fmt.Sprintf("rtbench: scenario %s combines AbortEvery with CrashEvery", sc.Name))
+		}
+		RunAbortKeyedPassages(tbl, sc.Ports(), total, sc.Zipf, sc.Keys, sc.AbortEvery)
 	case sc.Async:
 		if crashing {
 			// The async/hot runners carry no crash-absorbing supervisor;
@@ -635,6 +722,7 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		s.Batch = sc.Batch
 		s.Backend = tbl.Backend().String()
 		d := tbl.Stats().Total()
+		s.ShedsPerOp = float64((d.Aborts+d.Timeouts)-(keyedBase.Aborts+keyedBase.Timeouts)) / total
 		stats.Publishes.Store(d.Publishes - keyedBase.Publishes)
 		stats.Sleeps.Store(d.Sleeps - keyedBase.Sleeps)
 		stats.Wakes.Store(d.Wakes - keyedBase.Wakes)

@@ -136,6 +136,41 @@ func TestRunKeyedMCSCell(t *testing.T) {
 	}
 }
 
+// TestRunKeyedAbortCell smokes the abort tier: every passage routes through
+// LockContext, every 100th carries a pre-expired deadline, and the sample
+// must record the resulting ~1% shed rate while staying inside the
+// zero-allocation gate — the headline claim of the keyed_abort file group
+// is that neither the cancellable grant path nor the deterministic shed
+// path allocates.
+func TestRunKeyedAbortCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full measurement pass")
+	}
+	var sc Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "keyed_abort" {
+			sc = s
+		}
+	}
+	if !sc.Keyed || sc.AbortEvery != 100 || sc.FileName() != "keyed_abort" {
+		t.Fatalf("keyed_abort scenario shape wrong: %+v", sc)
+	}
+	s := Run(sc, "yield", true)
+	if s.NsPerOp <= 0 || s.Crashes != 0 {
+		t.Fatalf("bad abort sample shape: %+v", s)
+	}
+	if s.AllocsPerOp >= 0.01 {
+		t.Fatalf("abort-tier pooled AllocsPerOp = %v, want ~0", s.AllocsPerOp)
+	}
+	// 1 shed per AbortEvery passages per worker, minus each worker's
+	// sub-AbortEvery remainder — so the measured rate sits just under
+	// the nominal 1% but can never reach zero or exceed it.
+	want := 1.0 / float64(sc.AbortEvery)
+	if s.ShedsPerOp <= want/2 || s.ShedsPerOp > want {
+		t.Fatalf("ShedsPerOp = %v, want in (%v, %v]", s.ShedsPerOp, want/2, want)
+	}
+}
+
 // TestParseBackend pins the -backend vocabulary: all four names, case
 // folded, and an enumerating error for anything else.
 func TestParseBackend(t *testing.T) {

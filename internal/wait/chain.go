@@ -65,6 +65,45 @@ type chainNode struct {
 // returns are allowed (a forwarded wake can briefly over-wake); callers
 // must re-check their condition in a loop, as the pattern above does.
 func (c *Chain) Wait(st Strategy, cond func() bool) {
+	n, w := c.register(st)
+
+	if cond() {
+		c.retire(st, n, w)
+		return
+	}
+
+	st.Sleep(w)
+	c.putFree(n)
+}
+
+// WaitDone is Wait with a cancellation channel. It reports whether the
+// wait ended by wake or condition (true — the caller should re-try its
+// acquisition) rather than by cancellation (false). The no-lost-wake
+// contract extends to the cancel path: a cancelled waiter that was already
+// popped by a concurrent Wake absorbs the incoming wake — sleeping the
+// bounded moment until it lands — and hands it to the next registered
+// waiter, so a wake aimed at a departing waiter is forwarded, never
+// dropped, and a cancellation that wins the race unlinks a node nobody has
+// aimed a wake at. Either way the waiter's generation is retired before
+// its node is recycled, settling the episode exactly once.
+func (c *Chain) WaitDone(st Strategy, cond func() bool, done <-chan struct{}) bool {
+	n, w := c.register(st)
+
+	if cond() {
+		c.retire(st, n, w)
+		return true
+	}
+
+	if SleepDone(st, w, done) {
+		c.putFree(n)
+		return true
+	}
+	c.retire(st, n, w)
+	return false
+}
+
+// register links a fresh episode for the caller at the chain's tail.
+func (c *Chain) register(st Strategy) (*chainNode, *Waiter) {
 	c.mu.Lock()
 	n := c.free
 	if n != nil {
@@ -83,28 +122,26 @@ func (c *Chain) Wait(st Strategy, cond func() bool) {
 	c.tail = n
 	c.count.Add(1)
 	c.mu.Unlock()
+	return n, w
+}
 
-	if cond() {
-		// Cancel. If the node is still queued nobody has aimed a wake at
-		// it: unlink and recycle. If a waker already popped it, a wake is
-		// delivered or in flight — absorb it and hand it to the next
-		// waiter, who may still need it.
-		c.mu.Lock()
-		if n.queued {
-			c.unlink(n)
-			n.next = c.free
-			c.free = n
-			c.mu.Unlock()
-			return
-		}
+// retire removes a waiter that no longer wants its wake (its condition came
+// true on the re-check, or its wait was cancelled). If the node is still
+// queued nobody has aimed a wake at it: unlink and recycle. If a waker
+// already popped it, a wake is delivered or in flight — absorb it and hand
+// it to the next waiter, who may still need it.
+func (c *Chain) retire(st Strategy, n *chainNode, w *Waiter) {
+	c.mu.Lock()
+	if n.queued {
+		c.unlink(n)
+		n.next = c.free
+		c.free = n
 		c.mu.Unlock()
-		st.Sleep(w)
-		c.Wake()
-		c.putFree(n)
 		return
 	}
-
+	c.mu.Unlock()
 	st.Sleep(w)
+	c.Wake()
 	c.putFree(n)
 }
 

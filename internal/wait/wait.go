@@ -179,6 +179,44 @@ func (w *Waiter) wake(gen uint32) bool {
 	}
 }
 
+// ParkDone is Park with a cancellation channel: it blocks until a wake is
+// delivered or done is closed, and reports whether the episode was woken.
+// A false return leaves the packed word as it stands (possibly Parked); the
+// caller retires the episode (Cell.AwaitDone does) so a racing wake dies on
+// its generation CAS instead of leaking into a later episode.
+func (w *Waiter) ParkDone(done <-chan struct{}) bool {
+	if w.ch == nil {
+		for !w.Woken() {
+			select {
+			case <-done:
+				return w.Woken()
+			default:
+			}
+			runtime.Gosched()
+		}
+		return true
+	}
+	for {
+		cur := w.word.Load()
+		switch cur & stateMask {
+		case stateSet:
+			return true
+		case stateEmpty:
+			if !w.word.CompareAndSwap(cur, cur&^stateMask|stateParked) {
+				continue
+			}
+			if st := w.stats.Load(); st != nil {
+				st.Parks.Add(1)
+			}
+		}
+		select {
+		case <-w.ch:
+		case <-done:
+			return w.Woken()
+		}
+	}
+}
+
 // Park blocks until a wake is delivered to the current episode, sleeping on
 // the Waiter's channel. A channel token is only a hint: tokens leaked by
 // wakers of dead episodes wake Park spuriously, so it re-checks the packed
@@ -259,6 +297,34 @@ func (c *Cell) Await(st Strategy, cond func() bool) {
 	st.Sleep(w)
 }
 
+// AwaitDone is Await with a cancellation channel: it sleeps until a wake
+// arrives or done is closed, and returns cond()'s final value — true when
+// the wait ended woken (or the condition was already true), false only when
+// the wait was cancelled with the condition still false. Checking cond once
+// more after a cancelled sleep is what makes a cancel-vs-wake race settle
+// deterministically: a waker that set the condition and delivered its wake
+// concurrently with the cancellation is observed here, and the caller
+// proceeds as woken.
+//
+// On cancellation the episode is retired (generation bumped) before the
+// final cond check, so a racing wake aimed at it dies on its CAS — exactly
+// the fate of a wake aimed at a crashed process's abandoned spin word. That
+// is safe for condition-style waits, where wakes are hints over persistent
+// state; callers whose wakes are consumable resources (one handed out per
+// release) must forward a racing wake instead of dropping it, which is what
+// Chain.WaitDone layers on top of this.
+func (c *Cell) AwaitDone(st Strategy, cond func() bool, done <-chan struct{}) bool {
+	w := c.Begin(st)
+	if cond() {
+		return true
+	}
+	if SleepDone(st, w, done) {
+		return true
+	}
+	c.w.begin() // retire the cancelled episode: racing wakes die on their CAS
+	return cond()
+}
+
 // Stats counts wait-engine events; attach one to a Strategy with
 // Instrumented. Wakes is the RMR proxy on a CC machine: each wake is one
 // remote write to another process's spin word, and each sleep that it
@@ -296,6 +362,43 @@ type Strategy interface {
 	Sleep(w *Waiter)
 	// String names the strategy in benchmark output.
 	String() string
+}
+
+// DoneSleeper is the optional cancellable face of a Strategy: a strategy
+// that implements it can interrupt a Sleep when a cancellation channel
+// closes. All strategies in this package implement it natively; SleepDone
+// falls back to a yield-poll loop for foreign strategies that do not.
+type DoneSleeper interface {
+	// SleepDone blocks until w is woken or done is closed, and reports
+	// whether the episode was woken (a wake that raced the cancellation
+	// counts as woken). It must not return false while a wake is already
+	// delivered.
+	SleepDone(w *Waiter, done <-chan struct{}) bool
+}
+
+// SleepDone sleeps under st until a wake or a cancellation, reporting
+// whether the episode was woken. Strategies that implement DoneSleeper are
+// interrupted natively (a parked sleeper selects on done); others degrade
+// to probing the Waiter and the channel in a yield loop.
+func SleepDone(st Strategy, w *Waiter, done <-chan struct{}) bool {
+	if ds, ok := st.(DoneSleeper); ok {
+		return ds.SleepDone(w, done)
+	}
+	if w.Woken() {
+		return true
+	}
+	if s := w.stats.Load(); s != nil {
+		s.Sleeps.Add(1)
+	}
+	for !w.Woken() {
+		select {
+		case <-done:
+			return w.Woken()
+		default:
+		}
+		runtime.Gosched()
+	}
+	return true
 }
 
 // spin parameters: pause lengths double from minPause to maxPause; after
@@ -345,6 +448,24 @@ func (yieldStrategy) Sleep(w *Waiter) {
 	}
 }
 
+func (yieldStrategy) SleepDone(w *Waiter, done <-chan struct{}) bool {
+	if w.Woken() {
+		return true
+	}
+	if st := w.stats.Load(); st != nil {
+		st.Sleeps.Add(1)
+	}
+	for !w.Woken() {
+		select {
+		case <-done:
+			return w.Woken()
+		default:
+		}
+		runtime.Gosched()
+	}
+	return true
+}
+
 func (yieldStrategy) String() string { return "yield" }
 
 type spinStrategy struct{}
@@ -378,6 +499,35 @@ func (spinStrategy) Sleep(w *Waiter) {
 			st.SpinRounds.Add(1)
 		}
 	}
+}
+
+func (spinStrategy) SleepDone(w *Waiter, done <-chan struct{}) bool {
+	if w.Woken() {
+		return true
+	}
+	st := w.stats.Load()
+	if st != nil {
+		st.Sleeps.Add(1)
+	}
+	pause := minPause
+	for round := 0; !w.Woken(); round++ {
+		select {
+		case <-done:
+			return w.Woken()
+		default:
+		}
+		procyield(pause)
+		if pause < maxPause {
+			pause <<= 1
+		}
+		if round >= spinYieldAfter {
+			runtime.Gosched()
+		}
+		if st != nil {
+			st.SpinRounds.Add(1)
+		}
+	}
+	return true
 }
 
 func (spinStrategy) String() string { return "spin" }
@@ -430,6 +580,35 @@ func (s spinParkStrategy) Sleep(w *Waiter) {
 	w.Park()
 }
 
+func (s spinParkStrategy) SleepDone(w *Waiter, done <-chan struct{}) bool {
+	if w.Woken() {
+		return true
+	}
+	st := w.stats.Load()
+	if st != nil {
+		st.Sleeps.Add(1)
+	}
+	pause := minPause
+	for round := 0; round < s.rounds; round++ {
+		if w.Woken() {
+			return true
+		}
+		select {
+		case <-done:
+			return w.Woken()
+		default:
+		}
+		procyield(pause)
+		if pause < maxPause {
+			pause <<= 1
+		}
+		if st != nil {
+			st.SpinRounds.Add(1)
+		}
+	}
+	return w.ParkDone(done)
+}
+
 func (s spinParkStrategy) String() string { return "spinpark" }
 
 type instrumented struct {
@@ -450,5 +629,9 @@ func (s instrumented) Attach(w *Waiter) {
 }
 
 func (s instrumented) Sleep(w *Waiter) { s.inner.Sleep(w) }
+
+func (s instrumented) SleepDone(w *Waiter, done <-chan struct{}) bool {
+	return SleepDone(s.inner, w, done)
+}
 
 func (s instrumented) String() string { return s.inner.String() }

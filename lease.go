@@ -173,6 +173,25 @@ func (p *PortLeaser) Acquire() PortLease {
 	}
 }
 
+// AcquireDone is Acquire with a cancellation channel: it returns ok=false
+// if done closes while every port is leased. The cancel path inherits the
+// wait engine's no-lost-wake contract — a cancelled waiter that was already
+// handed a Release's wake forwards it to the next parked acquirer (see
+// wait.Chain.WaitDone) — so abandoning an acquisition can never strand a
+// free port behind a dropped wake. A cancellation returns immediately
+// without a final scan: done closing is a deadline, and the caller asked
+// not to take a port past it.
+func (p *PortLeaser) AcquireDone(done <-chan struct{}) (PortLease, bool) {
+	for {
+		if l, ok := p.TryAcquire(); ok {
+			return l, true
+		}
+		if !p.chain.WaitDone(p.strat, p.freeCond, done) {
+			return PortLease{}, false
+		}
+	}
+}
+
 // Release returns a held port to the free pool. It panics if the lease is
 // stale (the tenancy was already released or orphaned): the epoch check is
 // what makes a forgotten double-release loud instead of silently revoking

@@ -1,6 +1,7 @@
 package rme
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,13 @@ type LockTable struct {
 	freeMu    sync.Mutex
 	batchFree *Batch
 	closed    atomic.Bool
+
+	// noAbortFixup disables the cooperative abort fix-up (test hook): a
+	// cancelled waiter's tenancy is parked as an orphan instead of
+	// self-repairing, and a cancelled-but-granted async request leaks its
+	// grant instead of auto-abandoning — the two hazards the abort design
+	// exists to prevent, reproducible on demand by the regression tests.
+	noAbortFixup atomic.Bool
 }
 
 // portLock is the contract a shard's lock backend satisfies: a k-ported
@@ -103,6 +111,18 @@ type portLock interface {
 	Held(port int) bool
 	Ports() int
 	SetCrashFunc(fn CrashFunc)
+	// LockDone is the abortable acquire: Lock that gives up when done
+	// closes, returning false with the port left exactly as if its worker
+	// had crashed at the abandoned step — so the one recovery story (a
+	// Lock/Unlock pair on the port) also settles aborts. Each backend
+	// implements the fix-up it already owns: flat runs its queue repair,
+	// tree re-climbs and unwinds under the phase cursor, MCS repairs the
+	// O(1) neighborhood of the abandoned node.
+	LockDone(port int, done <-chan struct{}) bool
+	// freeHint reports whether an arrival at port would currently acquire
+	// without queuing — the racy fast-reject probe TryLock uses to keep
+	// ordinary misses free of protocol state.
+	freeHint(port int) bool
 }
 
 var (
@@ -207,6 +227,13 @@ type lockShard struct {
 	// acquires counts completed tenancy acquisitions of the stripe —
 	// sync, async, and batch — the "ops" denominator of Stats' wakes/op.
 	acquires atomic.Uint64
+	// aborts / timeouts count acquisitions shed before completion —
+	// cancelled contexts and expired deadlines respectively — across every
+	// context-aware entry point (LockContext, LockBatchContext,
+	// LockAsyncContext). TryLock misses are not counted: a miss abandons
+	// nothing, it declines to start.
+	aborts   atomic.Uint64
+	timeouts atomic.Uint64
 	// disp is the stripe's async acquisition dispatcher (lazily started;
 	// see locktable_async.go); reqMu/reqFree are its recycled request
 	// nodes, per shard so independent stripes' pipelines do not contend
@@ -327,6 +354,14 @@ type ShardStats struct {
 	Sleeps     uint64
 	Parks      uint64
 	SpinRounds uint64
+	// Aborts / Timeouts count acquisitions shed before completion on the
+	// context-aware entry points: Timeouts are sheds whose context died of
+	// context.DeadlineExceeded, Aborts every other cancellation. Together
+	// they are the stripe's shed-load signal — the thing a deadline-aware
+	// service watches to know it is over capacity. TryLock misses count in
+	// neither (a miss declines to start; nothing was abandoned).
+	Aborts   uint64
+	Timeouts uint64
 	// Orphans counts ports whose lessee died and whose recovery has not
 	// finished (the per-stripe slice of LockTable.Orphans).
 	Orphans int
@@ -361,6 +396,8 @@ func (ts TableStats) Total() ShardStats {
 		sum.Sleeps += s.Sleeps
 		sum.Parks += s.Parks
 		sum.SpinRounds += s.SpinRounds
+		sum.Aborts += s.Aborts
+		sum.Timeouts += s.Timeouts
 		sum.Orphans += s.Orphans
 		sum.InboxDepth += s.InboxDepth
 	}
@@ -389,6 +426,8 @@ func (t *LockTable) Stats() TableStats {
 		s.Sleeps = sh.stats.Sleeps.Load()
 		s.Parks = sh.stats.Parks.Load()
 		s.SpinRounds = sh.stats.SpinRounds.Load()
+		s.Aborts = sh.aborts.Load()
+		s.Timeouts = sh.timeouts.Load()
 		for p := 0; p < sh.pool.Ports(); p++ {
 			switch sh.pool.State(p) {
 			case LeaseOrphaned, LeaseReclaiming:
@@ -478,6 +517,164 @@ func (sh *lockShard) lockPort(l PortLease) {
 func (sh *lockShard) unlockPort(l PortLease) {
 	defer sh.pool.orphanGuard(l)
 	sh.m.Unlock(l.Port)
+}
+
+// closedChan is the pre-closed cancellation channel TryLock hands to
+// LockDone: "give up immediately unless the hand-off is already yours".
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// TryLock acquires key's lock only if it is immediately available: a free
+// port on the stripe and no live passage to queue behind. It returns
+// whether the lock was acquired; a true return is exactly a Lock(key) and
+// must be paired with Unlock(key). Misses touch no protocol state on the
+// common paths (no free port, or the stripe's lock visibly busy) and are
+// not counted as aborts — a miss declines to start, it abandons nothing.
+//
+// TryLock is best-effort under contention, as every try-lock is: a stripe
+// that frees concurrently with the probe can still miss. In the narrow
+// race where the stripe looked free but a passage slipped in before this
+// caller's enqueue, the attempt is abandoned through the same cooperative
+// fix-up as a cancelled LockContext (the port self-repairs in the
+// background); the miss report is unaffected.
+func (t *LockTable) TryLock(key uint64) bool {
+	sh := t.shardOf(key)
+	l, ok := sh.pool.TryAcquire()
+	if !ok {
+		return false
+	}
+	sh.key[l.Port].Store(key)
+	if !sh.m.freeHint(l.Port) {
+		sh.pool.Release(l)
+		return false
+	}
+	if !sh.lockPortDone(l, closedChan) {
+		sh.abortTenancy(t, l)
+		return false
+	}
+	return true
+}
+
+// TryLockString is TryLock for a string key.
+func (t *LockTable) TryLockString(key string) bool { return t.TryLock(hashString(key)) }
+
+// LockContext acquires the lock for key like Lock, but gives up when ctx
+// is cancelled or its deadline passes, returning ctx's error. A nil return
+// always transfers ownership — the caller holds the key and owes an
+// Unlock, even if ctx was cancelled concurrently with the grant (the
+// hand-off won the race). A non-nil return guarantees the caller holds
+// nothing.
+//
+// A cancelled acquisition never strands its stripe. The departing waiter's
+// port is left as if it had crashed at the abandoned step, and the waiter
+// itself — not a supervisor — schedules the standard crash repair on it
+// (the cooperative-abort model of Jayanti–Jayanti's abortable mutex line):
+// the stripe's queue is fixed up in the background and the port returns to
+// the lease pool without any Reclaim call. Sheds are counted per stripe in
+// ShardStats.Aborts/Timeouts. Contexts that cannot be cancelled (no
+// deadline, no cancel) take the plain Lock path unchanged; abort-free
+// passages allocate nothing once the shard's pools are warm.
+func (t *LockTable) LockContext(ctx context.Context, key uint64) error {
+	sh := t.shardOf(key)
+	if err := ctx.Err(); err != nil {
+		sh.noteShed(err)
+		return err
+	}
+	done := ctx.Done()
+	if done == nil {
+		t.Lock(key)
+		return nil
+	}
+	l, ok := sh.pool.AcquireDone(done)
+	if !ok {
+		return sh.shed(ctx)
+	}
+	sh.key[l.Port].Store(key)
+	if !sh.lockPortDone(l, done) {
+		sh.abortTenancy(t, l)
+		return sh.shed(ctx)
+	}
+	return nil
+}
+
+// LockContextString is LockContext for a string key.
+func (t *LockTable) LockContextString(ctx context.Context, key string) error {
+	return t.LockContext(ctx, hashString(key))
+}
+
+// lockPortDone runs the port's abortable Lock under the orphan-on-crash
+// guard, bumping the stripe's acquire counter only when the lock was won.
+func (sh *lockShard) lockPortDone(l PortLease, done <-chan struct{}) bool {
+	defer sh.pool.orphanGuard(l)
+	if !sh.m.LockDone(l.Port, done) {
+		return false
+	}
+	sh.acquires.Add(1)
+	return true
+}
+
+// shed records a cancelled acquisition on the stripe and returns the error
+// the caller reports (ctx's, defensively defaulting to Canceled).
+func (sh *lockShard) shed(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		err = context.Canceled
+	}
+	sh.noteShed(err)
+	return err
+}
+
+// noteShed classifies one shed: deadline expiries and everything else.
+func (sh *lockShard) noteShed(err error) {
+	if err == context.DeadlineExceeded {
+		sh.timeouts.Add(1)
+	} else {
+		sh.aborts.Add(1)
+	}
+}
+
+// abortTenancy retires a tenancy whose acquisition was abandoned mid-wait
+// (a cancelled LockDone): the port's protocol state is exactly a crash at
+// the abandoned step, and the departing caller — not a reclaim sweep — owns
+// the repair. The lease moves held→reclaiming directly, never through
+// orphaned, so no concurrent sweep can claim it; the fix-up goroutine then
+// runs the standard recovery (Lock resumes and finishes the abandoned
+// passage, Unlock releases it, injected crashes retried throughout) and
+// returns the port to the pool. This is the cooperative-crash model of the
+// abortable-RME constructions: abort reuses the crash-repair machinery each
+// backend already has, from the aborting process's own hands.
+func (sh *lockShard) abortTenancy(t *LockTable, l PortLease) {
+	if !sh.pool.transition(l, leaseHeld, leaseReclaiming) {
+		panic(fmt.Sprintf("rme: abort of stale lease (port %d)", l.Port))
+	}
+	if t.noAbortFixup.Load() {
+		// Hazard mode (test hook): park the abandoned passage as an
+		// orphan instead of repairing it. Until a manual Reclaim runs, the
+		// abandoned node stalls every later arrival of the stripe — the
+		// stranded-stripe hazard the cooperative fix-up exists to prevent.
+		if !sh.pool.transition(l, leaseReclaiming, leaseOrphaned) {
+			panic(fmt.Sprintf("rme: aborted lease moved under hazard parking (port %d)", l.Port))
+		}
+		return
+	}
+	go sh.reclaimAborted(l)
+}
+
+// reclaimAborted is the abort fix-up: the same recovery loop a reclaim
+// sweep runs on an orphan, applied to the aborting caller's own port.
+func (sh *lockShard) reclaimAborted(l PortLease) {
+	for {
+		if crashes(func() { sh.m.Lock(l.Port) }) {
+			continue
+		}
+		if !crashes(func() { sh.m.Unlock(l.Port) }) {
+			break
+		}
+	}
+	sh.pool.finishReclaim(l)
 }
 
 // holderOf locates the caller's tenancy: the port whose lease is held,

@@ -1,6 +1,7 @@
 package rme
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -88,6 +89,13 @@ func (g Grant) Unlock() {
 // the grant). The orphan surfaces through Orphans() and the next reclaim
 // sweep recovers the stripe. Abandon, like Unlock, settles the grant:
 // using it afterwards is a stale-lease panic.
+//
+// Abandon remains valid after LockTable.Close: Close stops intake, it does
+// not revoke outstanding grants, and the supervisor draining a dead
+// worker's channels typically runs during shutdown — exactly when the
+// table is already closed. The orphaned tenancy surfaces through Orphans()
+// and Reclaim recovers it as usual; both stay fully functional on a closed
+// table.
 func (g Grant) Abandon() {
 	g.sh.pool.Orphan(g.l)
 	if g.req != nil {
@@ -104,6 +112,14 @@ type asyncReq struct {
 	ch   chan Grant  // cap 1; owned by the request until the grant is settled
 	fn   func(Grant) // callback variant; nil for the channel variant
 	next *asyncReq   // inbox / free-list link
+	// ctx and cch are the cancellable variant's completion (LockAsyncContext);
+	// both nil for plain LockAsync/LockAsyncFunc requests. cch is unbuffered —
+	// the dispatcher's send is a rendezvous, so "delivered" and "cancelled"
+	// are mutually exclusive outcomes of one select — and is reused across
+	// requests like ch; a cch consumed by a cancellation (closed) is dropped
+	// and recreated on the node's next cancellable request.
+	ctx context.Context
+	cch chan Grant
 }
 
 // dispatcher is one stripe's async service state.
@@ -170,6 +186,67 @@ func (t *LockTable) LockAsync(key uint64) <-chan Grant {
 // LockAsyncString is LockAsync for a string key.
 func (t *LockTable) LockAsyncString(key string) <-chan Grant {
 	return t.LockAsync(hashString(key))
+}
+
+// closedGrantChan is returned by LockAsyncContext for a request shed before
+// submission: an already-closed channel, so the caller's receive completes
+// immediately with ok == false and the pre-expired path allocates nothing.
+var closedGrantChan = func() chan Grant {
+	c := make(chan Grant)
+	close(c)
+	return c
+}()
+
+// LockAsyncContext is LockAsync with a cancellation budget. The returned
+// channel settles exactly once: either a Grant is delivered (receive with
+// ok == true; the receiver owns it and must settle it), or the channel is
+// closed without one (ok == false; the request was shed — ctx was cancelled
+// or expired before the stripe was handed over — and the caller holds
+// nothing). Sheds are counted in the stripe's ShardStats.
+//
+// Cancellation races with the grant in three ways, and each settles exactly
+// once. Cancelled before the dispatcher reaches the request: shed without
+// touching the stripe. Cancelled while the dispatcher is acquiring: the
+// acquisition itself is not interrupted (the dispatcher is mid-protocol on
+// behalf of the whole stripe), but the grant is not deliverable — see next.
+// Cancelled after the grant exists but before the caller receives it: the
+// dispatcher's send and the cancellation race in one select; if the
+// cancellation wins, the channel is closed and the already-won tenancy
+// degrades to an auto-Abandon — it is routed into the ordinary orphan
+// machinery and the next reclaim sweep releases the stripe, exactly as if
+// the grantee had received it and died. A caller whose ctx fires must
+// still complete the receive (the ok == false case) before discarding the
+// channel; abandoning the receive leaves the race unobserved, not broken.
+//
+// A ctx that can never be cancelled degrades to plain LockAsync. Like
+// LockAsync, the uncancelled path allocates nothing once the request free
+// list is warm; cancellations may allocate (a replacement channel).
+func (t *LockTable) LockAsyncContext(ctx context.Context, key uint64) <-chan Grant {
+	if ctx == nil || ctx.Done() == nil {
+		return t.LockAsync(key)
+	}
+	sh := t.shardOf(key)
+	if err := ctx.Err(); err != nil {
+		sh.noteShed(err)
+		return closedGrantChan
+	}
+	r := sh.getReq()
+	r.key = key
+	r.fn = nil
+	r.ctx = ctx
+	if r.cch == nil {
+		r.cch = make(chan Grant)
+	}
+	// Capture before submit: the dispatcher may complete (and recycle) the
+	// node before submit returns.
+	cch := r.cch
+	t.submit(sh, r)
+	return cch
+}
+
+// LockAsyncContextString is LockAsyncContext for a string key.
+func (t *LockTable) LockAsyncContextString(ctx context.Context, key string) <-chan Grant {
+	return t.LockAsyncContext(ctx, hashString(key))
 }
 
 // LockAsyncFunc enqueues an acquisition of key and returns immediately;
@@ -366,6 +443,20 @@ func (t *LockTable) deliverBatch(sh *lockShard) bool {
 // are absorbed with a reclaim-and-retry, Do-style: the dispatcher is
 // infrastructure and must outlive any number of modeled deaths.
 func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
+	// Pre-acquire shed: a cancellable request whose ctx already fired is
+	// completed without touching the stripe — close the channel (the
+	// caller's receive yields ok == false) and recycle the node with a
+	// fresh-channel debt.
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			sh.noteShed(err)
+			close(r.cch)
+			r.cch = nil
+			r.ctx = nil
+			sh.putReq(r)
+			return
+		}
+	}
 	var l PortLease
 	for {
 		crashed := crashes(func() {
@@ -387,6 +478,34 @@ func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
 		g.req = nil
 		sh.putReq(r)
 		t.runCallback(g, fn)
+		return
+	}
+	if r.ctx != nil {
+		// Cancellable delivery: a rendezvous, so exactly one of the two
+		// arms settles the request. If the cancellation wins after the
+		// tenancy was already won, the grant degrades to an auto-Abandon —
+		// into the same orphan machinery as a grantee that received and
+		// died — and the closed channel tells the caller it holds nothing.
+		ctx, cch := r.ctx, r.cch
+		select {
+		case cch <- g:
+			// Delivered; the receiver settles g (recycling r through g.req).
+		case <-ctx.Done():
+			sh.noteShed(ctx.Err())
+			close(cch)
+			r.cch = nil
+			r.ctx = nil
+			if t.noAbortFixup.Load() {
+				// Hazard mode (test hook): drop the grant on the floor. The
+				// tenancy stays held with no holder — invisible to Orphans()
+				// and unreclaimable — which is the leak the auto-Abandon
+				// exists to prevent.
+				sh.putReq(r)
+				return
+			}
+			sh.pool.Orphan(g.l)
+			sh.putReq(r)
+		}
 		return
 	}
 	// Channel delivery. Cap-1 and necessarily empty: the node is recycled
@@ -438,6 +557,7 @@ func (sh *lockShard) getReq() *asyncReq {
 // putReq recycles a settled request node onto the shard's free list.
 func (sh *lockShard) putReq(r *asyncReq) {
 	r.fn = nil
+	r.ctx = nil // drop the context reference; cch (if still open) is reused
 	sh.reqMu.Lock()
 	r.next = sh.reqFree
 	sh.reqFree = r

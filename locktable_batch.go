@@ -1,5 +1,7 @@
 package rme
 
+import "context"
+
 // This file is the batched half of the keyed lock service: multi-key
 // acquisition that coalesces same-stripe keys under one tenancy.
 //
@@ -98,6 +100,40 @@ func (t *LockTable) LockBatchString(keys []string) *Batch {
 	return t.lockPrepared(b)
 }
 
+// LockBatchContext is LockBatch with a cancellation budget: all-or-nothing.
+// It returns the held Batch, or ctx's error with nothing held — if ctx is
+// cancelled or expires mid-walk, every stripe already acquired is released
+// (in the same ascending ShardIndex order a crash-free Unlock uses) and the
+// stripe whose acquisition was interrupted repairs itself through the
+// cooperative abort fix-up, exactly as in LockContext. One shed is counted,
+// on the stripe where the walk gave up. A nil error always transfers the
+// whole batch, even if ctx was cancelled concurrently with the final grant.
+func (t *LockTable) LockBatchContext(ctx context.Context, keys []uint64) (*Batch, error) {
+	t.checkBatch(len(keys))
+	if err := ctx.Err(); err != nil {
+		t.shardOf(keys[0]).noteShed(err)
+		return nil, err
+	}
+	done := ctx.Done()
+	if done == nil {
+		return t.LockBatch(keys), nil
+	}
+	b := t.getBatch()
+	b.keys = append(b.keys[:0], keys...)
+	b.prepare()
+	shedSh := b.lockAllDone(done)
+	if shedSh == nil {
+		return b, nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		err = context.Canceled
+	}
+	shedSh.noteShed(err)
+	b.Unlock() // releases the stripes acquired before the shed, recycles b
+	return nil, err
+}
+
 func (t *LockTable) checkBatch(n int) {
 	if t.closed.Load() {
 		panic("rme: batch acquisition on a closed LockTable")
@@ -110,18 +146,23 @@ func (t *LockTable) checkBatch(n int) {
 // lockPrepared finishes an acquisition whose keys are already staged in
 // b.keys: stripe mapping, (stripe, key) sort, and the guarded walk.
 func (t *LockTable) lockPrepared(b *Batch) *Batch {
+	b.prepare()
+	b.lockAll()
+	return b
+}
+
+// prepare maps staged keys to stripes, sorts, and resets the walk state.
+func (b *Batch) prepare() {
 	if cap(b.shard) < len(b.keys) {
 		b.shard = make([]int, len(b.keys))
 	}
 	b.shard = b.shard[:len(b.keys)]
 	for i, k := range b.keys {
-		b.shard[i] = t.ShardIndex(k)
+		b.shard[i] = b.t.ShardIndex(k)
 	}
 	b.sortByStripe()
 	b.stripes = b.stripes[:0]
 	b.released = 0
-	b.lockAll()
-	return b
 }
 
 // lockAll acquires one tenancy per stripe run, under a guard that orphans
@@ -148,6 +189,41 @@ func (b *Batch) lockAll() {
 		sh.acquires.Add(1)
 		i = j
 	}
+}
+
+// lockAllDone is lockAll with a cancellation channel. It returns nil once
+// every stripe run is held, or the stripe on which the walk gave up (for
+// the caller's shed accounting) with that stripe's tenancy already handed
+// to the abort fix-up and removed from the held set; the caller owns
+// releasing the stripes acquired before it. The crash guard covers the
+// walk the same as lockAll's.
+func (b *Batch) lockAllDone(done <-chan struct{}) *lockShard {
+	defer b.orphanHeldOnCrash()
+	i := 0
+	for i < len(b.keys) {
+		j := i + 1
+		for j < len(b.keys) && b.shard[j] == b.shard[i] {
+			j++
+		}
+		sh := &b.t.shards[b.shard[i]]
+		l, ok := sh.pool.AcquireDone(done)
+		if !ok {
+			return sh
+		}
+		sh.key[l.Port].Store(b.keys[i])
+		b.stripes = append(b.stripes, batchStripe{sh: sh, l: l})
+		if !sh.m.LockDone(l.Port, done) {
+			// The aborted stripe repairs itself; drop it from the held set
+			// so neither the crash guard nor the caller's unwind touches
+			// its (now reclaiming) lease.
+			sh.abortTenancy(b.t, l)
+			b.stripes = b.stripes[:len(b.stripes)-1]
+			return sh
+		}
+		sh.acquires.Add(1)
+		i = j
+	}
+	return nil
 }
 
 // orphanHeldOnCrash is lockAll's deferred crash guard: a Crash panic

@@ -203,7 +203,10 @@ func (m *MCSMutex) Held(port int) bool {
 // section, release not yet announced), M.rel (release announced), M.empty
 // (tail cleared under the descriptor, phase not yet retired), M.succwait
 // (release saw a committed but unlinked successor), M.grant (successor
-// known, not yet signalled).
+// known, not yet signalled). Abort windows get their own points, hit only
+// when a cancellable acquire is abandoned: M.abort.enq (cancelled spinning
+// for the descriptor, enqueue uncommitted) and M.abort.wait (cancelled in
+// the grant wait, node left linked).
 func (m *MCSMutex) SetCrashFunc(fn CrashFunc) {
 	if fn == nil {
 		m.crashFn.Store(nil)
@@ -230,12 +233,28 @@ func (m *MCSMutex) CrashPoint(port int, point string) { m.cp(port, point) }
 // in which case the spinner is waiting for a reclaim sweep, exactly as a
 // queued waiter behind a dead node is.
 func (m *MCSMutex) lockDesc(port int, epoch uint64) {
+	m.lockDescDone(port, epoch, nil)
+}
+
+// lockDescDone is lockDesc with a cancellation channel (nil = wait
+// forever): it reports whether the descriptor was acquired. A false return
+// leaves nothing engaged — the CAS never landed — so the caller's enqueue
+// provably never committed.
+func (m *MCSMutex) lockDescDone(port int, epoch uint64, done <-chan struct{}) bool {
 	ref := mcsRef(port, epoch)
 	for i := 0; !m.enq.CompareAndSwap(0, ref); i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
 		if i >= 64 {
 			runtime.Gosched()
 		}
 	}
+	return true
 }
 
 func (m *MCSMutex) unlockDesc() { m.enq.Store(0) }
@@ -280,8 +299,56 @@ func (m *MCSMutex) Lock(port int) {
 	}
 }
 
+// LockDone is Lock with a cancellation channel: it returns true once port
+// holds the critical section, or false if done closed first. Cancellation
+// can land in two windows, each left exactly as the matching crash:
+//
+//   - Spinning for the enqueue descriptor: the attempt never engaged the
+//     queue. The phase word stays at the uncommitted mcsEnq, and recovery
+//     (recoverEnqueue, not holding the descriptor) restarts the enqueue
+//     from scratch — the descriptor-holder-death invariants extend to a
+//     holder that aborts because an aborting spinner never held it at all.
+//   - Waiting for the grant: the passage stays linked in mcsWait (a crash
+//     at M.wait), and recovery is the O(1) neighborhood repair. A grant
+//     racing the cancellation is taken, not dropped (see linkAndWaitDone).
+//
+// Either way the port owes the standard recovery Lock (the LockTable's
+// abort path runs it from the departing caller) before any fresh passage.
+// Recovery passages themselves are not cancellable and return true.
+func (m *MCSMutex) LockDone(port int, done <-chan struct{}) bool {
+	m.checkPort(port)
+	n := &m.nodes[port]
+	w := n.word.Load()
+	if w&mcsPhaseMask != mcsIdle {
+		m.Lock(port) // recovery: run the interrupted passage to completion
+		return true
+	}
+	epoch := w >> mcsPhaseBits
+	// Same stale-descriptor release as Lock's entry: a previous execution
+	// that died between its final phase store and its descriptor release
+	// left enq carrying this port's committed section; free it before the
+	// fresh enqueue spins on it.
+	if m.enq.Load() == mcsRef(port, epoch) {
+		m.unlockDesc()
+	}
+	return m.acquireDone(port, epoch+1, done)
+}
+
+// freeHint reports whether an arrival at port would currently acquire
+// without queuing: the queue is empty and the enqueue descriptor free.
+// Racy — a hint for TryLock, not a reservation.
+func (m *MCSMutex) freeHint(int) bool {
+	return m.tail.Load() == 0 && m.enq.Load() == 0
+}
+
 // acquire runs a fresh passage with the given (new) epoch.
 func (m *MCSMutex) acquire(port int, epoch uint64) {
+	m.acquireDone(port, epoch, nil)
+}
+
+// acquireDone runs a fresh passage with the given (new) epoch, cancellable
+// through done (nil = wait forever).
+func (m *MCSMutex) acquireDone(port int, epoch uint64, done <-chan struct{}) bool {
 	n := &m.nodes[port]
 	// Reset the successor link before this passage's ref can reach tail.
 	// No stale linker can race this store: a successor of the previous
@@ -291,8 +358,14 @@ func (m *MCSMutex) acquire(port int, epoch uint64) {
 	n.next.Store(0)
 	n.word.Store(mcsWord(epoch, mcsEnq))
 	m.cp(port, "M.enq")
-	m.lockDesc(port, epoch)
-	m.enqCommit(port, epoch)
+	if !m.lockDescDone(port, epoch, done) {
+		// Cancelled spinning for the descriptor: the enqueue never
+		// committed (the phase reads mcsEnq, the descriptor was never
+		// ours), which is exactly a crash at M.enq.
+		m.cp(port, "M.abort.enq")
+		return false
+	}
+	return m.enqCommitDone(port, epoch, done)
 }
 
 // enqCommit runs the descriptor section of an enqueue — record pred, swing
@@ -301,6 +374,15 @@ func (m *MCSMutex) acquire(port int, epoch uint64) {
 // path and descriptor-holder crash recovery because every step is
 // idempotent under the frozen tail (see the type comment).
 func (m *MCSMutex) enqCommit(port int, epoch uint64) {
+	m.enqCommitDone(port, epoch, nil)
+}
+
+// enqCommitDone is enqCommit with a cancellation channel (nil = wait
+// forever). The descriptor section itself always runs to completion — its
+// steps are momentary stores, and committing the phase before releasing
+// the descriptor is what keeps every crash window decidable — so
+// cancellation can only land in the post-descriptor grant wait.
+func (m *MCSMutex) enqCommitDone(port int, epoch uint64, done <-chan struct{}) bool {
 	n := &m.nodes[port]
 	ref := mcsRef(port, epoch)
 	if m.tail.Load() != ref {
@@ -314,12 +396,12 @@ func (m *MCSMutex) enqCommit(port int, epoch uint64) {
 		// Empty queue: the passage acquires immediately.
 		n.word.Store(mcsWord(epoch, mcsCS))
 		m.unlockDesc()
-		return
+		return true
 	}
 	n.word.Store(mcsWord(epoch, mcsWait))
 	m.unlockDesc()
 	m.cp(port, "M.link")
-	m.linkAndWait(port, epoch, pred)
+	return m.linkAndWaitDone(port, epoch, pred, done)
 }
 
 // recoverEnqueue resumes a passage that died in mcsEnq. Phase mcsEnq
@@ -349,14 +431,35 @@ func (m *MCSMutex) recoverEnqueue(port int, epoch uint64) {
 // wait condition is the persistent phase word, so a grant delivered while
 // the port was dead is simply observed.
 func (m *MCSMutex) linkAndWait(port int, epoch, pred uint64) {
+	m.linkAndWaitDone(port, epoch, pred, nil)
+}
+
+// linkAndWaitDone is linkAndWait with a cancellation channel (nil = wait
+// forever): it reports whether the grant arrived. A cancelled wait leaves
+// the passage linked in mcsWait — precisely a crash at M.wait — and the
+// final condition re-check inside the cancelled episode means a grant that
+// raced the cancellation is taken, not dropped: the passage ends granted or
+// abandoned, never both. The abandoned node's repair is the existing O(1)
+// neighborhood recovery (recoverWait re-links and re-waits), run by the
+// departing caller's fix-up Lock.
+func (m *MCSMutex) linkAndWaitDone(port int, epoch, pred uint64, done <-chan struct{}) bool {
 	n := &m.nodes[port]
 	m.nodes[mcsRefPort(pred)].next.CompareAndSwap(0, mcsRef(port, epoch))
 	m.cp(port, "M.wait")
 	granted := mcsWord(epoch, mcsCS)
 	if n.word.Load() == granted {
-		return
+		return true
 	}
-	n.cell.Await(m.strat, func() bool { return n.word.Load() == granted })
+	cond := func() bool { return n.word.Load() == granted }
+	if done == nil {
+		n.cell.Await(m.strat, cond)
+		return true
+	}
+	if n.cell.AwaitDone(m.strat, cond, done) {
+		return true
+	}
+	m.cp(port, "M.abort.wait")
+	return false
 }
 
 // recoverWait resumes a passage that died in mcsWait: enqueue committed,

@@ -283,6 +283,59 @@ func (m *Mutex) Lock(port int) {
 	}
 }
 
+// LockDone is Lock with a cancellation channel: it returns true once port
+// holds the critical section, or false if done closed while the passage was
+// still queued. An abandoned attempt leaves the port exactly as if its
+// goroutine had crashed at the queue wait (the node stays linked, its
+// predecessor edge intact — the paper's crash-at-line-25 state), and the
+// port owes the standard recovery before any fresh passage: a Lock on the
+// same port resumes the abandoned passage, acquires, and a following Unlock
+// releases it. That cooperative crash-and-repair is the whole abort design
+// (the LockTable's abort path runs exactly that from the departing caller);
+// until it runs, successors queued behind the node wait just as they wait
+// behind any crashed port.
+//
+// A wake that races the cancellation counts as acquired: LockDone re-checks
+// the predecessor's exit signal after a cancelled sleep and returns true if
+// the hand-off landed, so a passage is granted or abandoned, never both.
+// Recovery passages are not cancellable — a port whose previous passage
+// crashed runs that recovery to completion and returns true.
+func (m *Mutex) LockDone(port int, done <-chan struct{}) bool {
+	m.checkPort(port)
+	if m.node[port].Load() != nil {
+		m.Lock(port) // recovery: run the interrupted passage to completion
+		return true
+	}
+	m.cp(port, "L11")
+	n := m.getNode(port)
+	m.cp(port, "L12")
+	m.node[port].Store(n)
+	m.cp(port, "L13")
+	pred := m.tail.Swap(n)
+	m.cp(port, "L14")
+	n.pred.Store(pred)
+	m.cp(port, "L15")
+	n.nonNil.set()
+	m.cp(port, "L25")
+	if !pred.cs.waitDone(m.strat, done) {
+		m.cp(port, "A.wait")
+		return false
+	}
+	m.cp(port, "L26")
+	n.pred.Store(m.incsN)
+	pred.consumed.Store(true)
+	return true
+}
+
+// freeHint reports whether an arrival at port would currently acquire
+// without queuing behind a live passage: true iff the tail node's exit
+// signal is already set, so a fresh enqueue's hand-off wait is immediate.
+// Racy by nature — a hint, not a reservation; TryLock callers that act on a
+// stale true fall into the abort path.
+func (m *Mutex) freeHint(int) bool {
+	return m.tail.Load().cs.isSet()
+}
+
 // Unlock releases the critical section (the paper's wait-free Exit,
 // lines 27–29). If the calling goroutine crashes part-way through, the
 // port's next Lock call completes the release before acquiring again.

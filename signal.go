@@ -51,6 +51,18 @@ func (s *signal) wait(st wait.Strategy) {
 	s.cell.Await(st, s.bit.Load)
 }
 
+// waitDone is wait with a cancellation channel: it reports whether the
+// signal was set by the time it returned. Signal wakes are hints over the
+// persistent bit, so a wake lost to a cancelled (and retired) episode is
+// harmless — the bit stays set, and any later wait on the signal returns
+// immediately off the fast path.
+func (s *signal) waitDone(st wait.Strategy, done <-chan struct{}) bool {
+	if s.bit.Load() {
+		return true
+	}
+	return s.cell.AwaitDone(st, s.bit.Load, done)
+}
+
 // isSet reports the state without side effects (used by tests).
 func (s *signal) isSet() bool { return s.bit.Load() }
 

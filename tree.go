@@ -240,6 +240,51 @@ func (t *TreeMutex) Lock(proc int) {
 	t.phase[proc].Store(tphCS)
 }
 
+// LockDone is Lock with a cancellation channel: it returns true once proc
+// holds the outer critical section, or false if done closed mid-climb. An
+// abandoned climb leaves the phase word at tphUp with every level below the
+// cancelled one still held and the cancelled level's node in its
+// crashed-at-the-wait state — exactly the state a crash at that point
+// leaves, so the standard recovery applies: a Lock on the same identity
+// re-climbs (held levels re-enter wait-free, the abandoned level's passage
+// resumes), and the following Unlock unwinds the precomputed path top-down
+// under the phase-cursor encoding. The LockTable's abort path runs that
+// Lock/Unlock pair from the departing caller. Recovery passages (a phase
+// word found mid-passage) are not cancellable and return true.
+func (t *TreeMutex) LockDone(proc int, done <-chan struct{}) bool {
+	t.checkProc(proc)
+	switch word := t.phase[proc].Load(); word & tphMask {
+	case tphCS:
+		return true // crashed in the CS: every level is still held
+	case tphUp:
+		t.Lock(proc) // interrupted climb: recovery, run to completion
+		return true
+	case tphDown:
+		t.replayRelease(proc, decodeTreeDown(word))
+	}
+	t.phase[proc].Store(tphUp)
+	for _, s := range t.path[proc] {
+		if !s.m.LockDone(s.port, done) {
+			t.tcp(proc, "T.abort")
+			return false
+		}
+	}
+	t.phase[proc].Store(tphCS)
+	return true
+}
+
+// freeHint reports whether an arrival by proc would currently climb its
+// whole path without queuing: true iff every level's node on the path has
+// its tail exit signal set. Racy — a hint for TryLock, not a reservation.
+func (t *TreeMutex) freeHint(proc int) bool {
+	for _, s := range t.path[proc] {
+		if !s.m.freeHint(s.port) {
+			return false
+		}
+	}
+	return true
+}
+
 // Unlock releases the outer critical section (wait-free). A crash part-way
 // through is completed by the next Lock on the same identity.
 func (t *TreeMutex) Unlock(proc int) {
