@@ -11,6 +11,7 @@
 //	rmebench -list                    # list experiments
 //	rmebench -md                      # emit EXPERIMENTS.md to stdout
 //	rmebench -json                    # benchmark the runtime lock, write BENCH_<scenario>.json
+//	rmebench -json -stats             # also dump each keyed cell's TableStats to STATS_<scenario>.json
 //	rmebench -compare BENCH_x.json    # re-run x's scenarios, fail on regression vs the file
 package main
 
@@ -33,8 +34,9 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_abort, keyed_abort_tree, keyed_abort_mcs, keyed_async, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree, keyed_mcs); scenarios sharing a BENCH file should be regenerated together")
+		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_abort, keyed_abort_tree, keyed_abort_mcs, keyed_async, keyed_adaptive, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree, keyed_mcs); scenarios sharing a BENCH file should be regenerated together")
 		backend  = flag.String("backend", "", "with -json: force every keyed scenario onto this shard backend (flat, tree, mcs, auto; case-insensitive) instead of each scenario's own — for ad-hoc backend comparisons; leave unset when regenerating committed baselines")
+		stats    = flag.Bool("stats", false, "with -json: capture each keyed cell's post-run TableStats snapshot (per-stripe counters, backends, active ports, supervisor activity) and write STATS_<file>.json alongside the BENCH files; the snapshots are stripped from the BENCH files themselves, which record only gate-comparable samples")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
 		tol      = flag.Float64("tol", 0.20, "with -compare: allowed fractional ns/op increase before it counts as a regression")
 	)
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runRuntimeBench(*outDir, *scenario, *backend); err != nil {
+		if err := runRuntimeBench(*outDir, *scenario, *backend, *stats); err != nil {
 			fmt.Fprintf(os.Stderr, "rmebench: %v\n", err)
 			os.Exit(1)
 		}
@@ -57,6 +59,10 @@ func main() {
 	}
 	if *backend != "" {
 		fmt.Fprintln(os.Stderr, "rmebench: -backend is only meaningful with -json")
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "rmebench: -stats is only meaningful with -json")
 		os.Exit(1)
 	}
 
@@ -128,8 +134,11 @@ func printSample(s rtbench.Sample) {
 // BENCH_tree.json, the keyed backend pair BENCH_keyed_tree.json). A
 // non-empty backendName overrides every keyed scenario's shard backend —
 // the ad-hoc comparison mode; committed baselines are regenerated with
-// each scenario's own backend.
-func runRuntimeBench(outDir, only, backendName string) error {
+// each scenario's own backend. With collectStats the keyed cells'
+// post-run TableStats snapshots are split into STATS_<file>.json files
+// and stripped from the BENCH samples, so the committed baselines stay
+// free of point-in-time diagnostic state.
+func runRuntimeBench(outDir, only, backendName string, collectStats bool) error {
 	// Fail on an unwritable destination before burning benchmark time.
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -161,8 +170,10 @@ func runRuntimeBench(outDir, only, backendName string) error {
 			return err
 		}
 	}
+	rtbench.CollectStats = collectStats
 	var fileOrder []string
 	byFile := make(map[string][]rtbench.Sample)
+	statsByFile := make(map[string][]statsEntry)
 	for _, sc := range rtbench.Scenarios() {
 		if only != "" && !want[strings.ToLower(sc.Name)] {
 			continue
@@ -179,6 +190,20 @@ func runRuntimeBench(outDir, only, backendName string) error {
 		if _, ok := byFile[f]; !ok {
 			fileOrder = append(fileOrder, f)
 		}
+		for i := range samples {
+			// Split the diagnostic snapshot out of the gate baseline: the
+			// BENCH file records only the comparable numbers, STATS_<f>
+			// the per-stripe state the cell ended in.
+			if samples[i].TableStats != nil {
+				statsByFile[f] = append(statsByFile[f], statsEntry{
+					Scenario: samples[i].Scenario,
+					Strategy: samples[i].Strategy,
+					Pool:     samples[i].Pool,
+					Stats:    samples[i].TableStats,
+				})
+				samples[i].TableStats = nil
+			}
+		}
 		byFile[f] = append(byFile[f], samples...)
 	}
 	for _, f := range fileOrder {
@@ -191,8 +216,28 @@ func runRuntimeBench(outDir, only, backendName string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		if entries := statsByFile[f]; len(entries) > 0 {
+			buf, err := json.MarshalIndent(entries, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := fmt.Sprintf("%s/STATS_%s.json", outDir, f)
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 	return nil
+}
+
+// statsEntry is one keyed cell's post-run TableStats snapshot in a
+// STATS_<file>.json dump, keyed the same way compare keys cells.
+type statsEntry struct {
+	Scenario string          `json:"scenario"`
+	Strategy string          `json:"strategy"`
+	Pool     bool            `json:"pool"`
+	Stats    *rme.TableStats `json:"table_stats"`
 }
 
 // cellKey identifies one matrix cell across baseline and fresh runs.

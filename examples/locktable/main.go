@@ -1,27 +1,41 @@
-// locktable: the keyed lock service under fire. A pool of worker
-// goroutines increments per-account balances in a "non-volatile" ledger,
-// locking each account by name through a LockTable — millions of possible
-// account keys striped over a small arena of recoverable mutexes, with
-// port identities leased per passage instead of pinned per goroutine.
+// locktable: the self-managing keyed lock service under fire. A pool of
+// worker goroutines increments per-account balances in a "non-volatile"
+// ledger, locking each account by name through a LockTable — many
+// possible account keys striped over a small arena of recoverable
+// mutexes, with port identities leased per passage instead of pinned per
+// goroutine.
 //
 // Injected crashes kill workers at arbitrary protocol steps, including
 // inside the critical section and half-way through a release. A dying
 // worker's lease is orphaned in its last breath (the library's
-// OrphanOnCrash guard runs as the Crash panic unwinds); the supervisor
-// that observes the death runs a reclaim sweep, which recovers the
-// orphaned port — re-entering the critical section if the dead worker
-// held it, repairing the queue if it died waiting — hands the stripe back,
-// and reports the key so the application can redo or undo.
+// OrphanOnCrash guard runs as the Crash panic unwinds) — and then nobody
+// in this program cleans it up, because the table was built with
+// WithSupervisor: its background supervisor claims the orphan on the
+// next tick, re-enters the critical section if the dead worker held it,
+// repairs the queue if it died waiting, and hands the port back. The
+// crashed worker just retries. Earlier revisions of this example ran a
+// hand-rolled reclaim sweep in every worker's recovery path; the
+// supervised table makes that whole pattern disappear.
+//
+// The account traffic is deliberately skewed (a zipf draw puts most
+// deposits on one hot account), so the supervisor's adaptive policies
+// have something to notice: cold stripes shrink their port pools toward
+// the floor while the hot stripe keeps its full complement, and the hot
+// stripe's wakes-per-acquisition profile drives a live migration from
+// the flat lock shape it started with to a shape built for hand-off
+// traffic — while deposits keep flowing.
 //
 // Alongside the storm, an auditor reports running totals on a latency
-// budget: each account is read under LockContext with 1ms to spare, and a
-// stripe that cannot be won in time — busy, or stalled behind a dead
-// tenancy awaiting reclaim — sheds with context.DeadlineExceeded and the
-// auditor degrades to the account's last published balance instead of
-// queueing behind recovery.
+// budget: each account is read under LockContext with 1ms to spare, and
+// a stripe that cannot be won in time — busy, or stalled behind a dead
+// tenancy the supervisor has not reached yet — sheds with
+// context.DeadlineExceeded and the auditor degrades to the account's
+// last published balance instead of queueing behind recovery.
 //
-// The invariant checked at the end: every increment applied exactly once
-// and no port left orphaned, despite the crash storm.
+// The invariant checked at the end: every increment applied exactly
+// once and no port left orphaned, despite the crash storm and the
+// stripe shapes changing underfoot — with SupervisorStats showing who
+// did the housekeeping.
 //
 //	go run ./examples/locktable
 package main
@@ -29,6 +43,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,10 +55,10 @@ import (
 const (
 	workers  = 8
 	accounts = 6
-	deposits = 400 // per worker
+	deposits = 2500 // per worker
 )
 
-var crashes, reclaimed, inCSDeaths atomic.Int64
+var crashes atomic.Int64
 
 // ledger is the NVM side: balances and the keyed lock protecting them.
 // Balances are plain ints on purpose — only the table's mutual exclusion
@@ -61,23 +76,18 @@ type ledger struct {
 func accountName(i int) string { return fmt.Sprintf("acct/%03d", i) }
 
 // withRecovery runs fn, converting an injected crash into a false return
-// and sweeping the orphan the death left behind (any other panic
-// propagates). The sweep is what keeps the stripe live: an unreclaimed
-// orphan stalls every key hashing to it. This hand-built loop exists to
-// showcase ReclaimWith's application hook; when no redo/undo bookkeeping
-// is needed, LockTable.Do packages the same pattern.
-func (l *ledger) withRecovery(fn func()) (ok bool) {
+// (any other panic propagates). Note what is missing compared to a
+// hand-rolled supervisor: no Reclaim call. The orphan the death left
+// behind is the table's own problem now — its supervisor claims and
+// recovers it within a tick — so recovery here is just "count it and
+// retry".
+func withRecovery(fn func()) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isCrash := rme.AsCrash(r); !isCrash {
 				panic(r)
 			}
 			crashes.Add(1)
-			reclaimed.Add(int64(l.tbl.ReclaimWith(func(key uint64, inCS bool) {
-				if inCS {
-					inCSDeaths.Add(1)
-				}
-			})))
 			ok = false
 		}
 	}()
@@ -86,18 +96,23 @@ func (l *ledger) withRecovery(fn func()) (ok bool) {
 }
 
 // deposit adds amount to the named account, surviving any number of
-// injected deaths: a crashed Lock is retried (the reclaim in withRecovery
-// freed the dead tenancy first), and a crashed Unlock is finished by the
-// sweep itself, so the deposit — applied before the release began — counts
-// exactly once either way.
+// injected deaths: a crashed Lock is simply retried (the retry parks
+// until the supervisor has healed the dead tenancy in its way, if any),
+// and a crashed Unlock is finished by the supervisor itself, so the
+// deposit — applied before the release began — counts exactly once
+// either way. The scheduler yield inside the critical section models
+// real CS work crossing a scheduler boundary; it is also what makes the
+// hot account genuinely contended on any GOMAXPROCS, giving the
+// supervisor's shape policy a hand-off profile worth migrating for.
 func (l *ledger) deposit(acct string, amount int) {
-	for !l.withRecovery(func() { l.tbl.LockString(acct) }) {
+	for !withRecovery(func() { l.tbl.LockString(acct) }) {
 	}
 	idx := 0
 	fmt.Sscanf(acct, "acct/%d", &idx)
 	l.balances[idx] += amount
+	runtime.Gosched() // critical-section work
 	l.published[idx].Store(int64(l.balances[idx]))
-	l.withRecovery(func() { l.tbl.UnlockString(acct) })
+	withRecovery(func() { l.tbl.UnlockString(acct) })
 }
 
 // auditTotal sums every account on a 1ms-per-key latency budget. An
@@ -111,7 +126,7 @@ func (l *ledger) auditTotal() (total int, degraded int) {
 		acct := accountName(i)
 		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 		var err error
-		ok := l.withRecovery(func() { err = l.tbl.LockContextString(ctx, acct) })
+		ok := withRecovery(func() { err = l.tbl.LockContextString(ctx, acct) })
 		cancel()
 		if !ok || err != nil {
 			total += int(l.published[i].Load())
@@ -119,13 +134,30 @@ func (l *ledger) auditTotal() (total int, degraded int) {
 			continue
 		}
 		total += l.balances[i]
-		l.withRecovery(func() { l.tbl.UnlockString(acct) })
+		withRecovery(func() { l.tbl.UnlockString(acct) })
 	}
 	return total, degraded
 }
 
 func main() {
-	l := &ledger{tbl: rme.NewLockTable(4, 2, rme.WithNodePool(true))}
+	// A 4-stripe × 48-port arena, deliberately built on flat shards — the
+	// wrong shape for a 48-port stripe under hand-off-heavy traffic — and
+	// handed to a supervisor aggressive enough to fix that during the
+	// storm: millisecond ticks, adaptive pools with a floor of 4 ports,
+	// and shape migration at a low wakes-per-acquisition threshold.
+	l := &ledger{tbl: rme.NewLockTable(4, 48,
+		rme.WithNodePool(true),
+		rme.WithShardBackend(rme.FlatBackend),
+		rme.WithSupervisor(rme.SupervisorConfig{
+			Interval:        time.Millisecond,
+			AdaptivePorts:   true,
+			MinPorts:        4,
+			Migrate:         true,
+			HotWakesPerOp:   0.05,
+			ColdWakesPerOp:  0.005,
+			HysteresisTicks: 2,
+		}))}
+	defer l.tbl.Close() // joins the supervisor and every heal it started
 
 	// Kill a worker roughly every two thousand protocol steps.
 	var calls atomic.Uint64
@@ -138,9 +170,15 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Zipf-skewed account choice: most deposits land on the hot
+			// account, the tail spreads over the rest.
 			rng := xrand.New(uint64(w) + 1)
 			for i := 0; i < deposits; i++ {
-				l.deposit(accountName(rng.Intn(accounts)), 1)
+				acct := 0
+				if rng.Uint64()%3 == 0 { // ~1/3 of traffic off the hot key
+					acct = 1 + rng.Intn(accounts-1)
+				}
+				l.deposit(accountName(acct), 1)
 			}
 		}(w)
 	}
@@ -171,23 +209,47 @@ func main() {
 	close(stormDone)
 	auditor.Wait()
 	l.tbl.SetCrashFunc(nil)
-	reclaimed.Add(int64(l.tbl.Reclaim())) // final sweep
+
+	// No final sweep: the supervisor drains the storm's leftovers on its
+	// own, and the table reports quiescent — no orphans, no queued async
+	// work — within a few ticks of the last death.
+	for deadline := time.Now().Add(5 * time.Second); !l.tbl.Quiesced(); {
+		if time.Now().After(deadline) {
+			panic("table not quiesced after the storm")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	total := 0
 	for i := range l.balances {
 		fmt.Printf("%s balance %d\n", accountName(i), l.balances[i])
 		total += l.balances[i]
 	}
-	fmt.Printf("\n%d deposits by %d workers, %d injected deaths (%d inside the CS), %d leases reclaimed\n",
-		total, workers, crashes.Load(), inCSDeaths.Load(), reclaimed.Load())
-	st := l.tbl.Stats().Total()
+	fmt.Printf("\n%d deposits by %d workers, %d injected deaths, zero Reclaim calls in this program\n",
+		total, workers, crashes.Load())
+
+	st := l.tbl.Stats()
+	sup := st.Supervisor
+	fmt.Printf("supervisor: %d sweeps, %d orphaned ports healed across %d stripe heals\n",
+		sup.Sweeps, sup.PortsHealed, sup.StripesHealed)
+	fmt.Printf("pool policy: %d shrinks, %d grows, %d steals; shape policy: %d migrations (%d→tree, %d→mcs, %d→flat)\n",
+		sup.Shrinks, sup.Grows, sup.Steals,
+		sup.Migrations(), sup.MigrationsToTree, sup.MigrationsToMCS, sup.MigrationsToFlat)
+	for i, sh := range st.Shards {
+		fmt.Printf("  stripe %d: backend=%s active_ports=%d acquires=%d wakes/op=%.2f\n",
+			i, sh.Backend, sh.ActivePorts, sh.Acquires, sh.WakesPerOp())
+	}
 	fmt.Printf("%d budget audits during the storm: %d degraded reads, %d deadline sheds counted by the table\n",
-		audits.Load(), degradedReads.Load(), st.Timeouts)
+		audits.Load(), degradedReads.Load(), st.Total().Timeouts)
+
 	if final, degraded := l.auditTotal(); degraded != 0 || final != total {
 		panic(fmt.Sprintf("post-storm audit degraded=%d total=%d, want clean total %d", degraded, final, total))
 	}
 	if want := workers * deposits; total != want {
 		panic(fmt.Sprintf("LOST OR DOUBLED DEPOSITS: total %d, want %d", total, want))
+	}
+	if crashes.Load() > 0 && sup.PortsHealed == 0 {
+		panic("workers crashed but the supervisor healed nothing — who cleaned up?")
 	}
 
 	// One deliberate shed: hold an account and audit again. The held
@@ -204,15 +266,5 @@ func main() {
 		panic(fmt.Sprintf("held stripe: degraded=%d total=%d, want >=1 degraded and total %d",
 			degraded, shedTotal, total))
 	}
-
-	// The shed's cooperative fix-up (a background recovery pass on the
-	// abandoned port) finishes on its own — no Reclaim needed — so the
-	// table quiesces within moments of the release.
-	for deadline := time.Now().Add(5 * time.Second); !l.tbl.Quiesced(); {
-		if time.Now().After(deadline) {
-			panic("table not quiesced after the storm")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	fmt.Println("every deposit applied exactly once; table quiesced")
+	fmt.Println("every deposit applied exactly once; table quiesced; nobody called Reclaim")
 }

@@ -34,6 +34,16 @@
 // claims. All three cells are crash-free and inside the zero-allocation
 // gate.
 //
+// The self-managing table has its own cell, keyed_adaptive
+// (BENCH_keyed_adaptive.json): a skewed workload on an arena that starts
+// with the wrong (flat) shape for its port count, under an aggressive
+// WithSupervisor policy. The supervisor migrates the hot stripes during
+// an extended warm-up and the measured pass prices the supervised steady
+// state — adaptive pools, migration judgments, and sweep ticks all live.
+// Crash-free and inside the zero-allocation gate, so a supervisor whose
+// steady-state tick allocates (or whose policy flaps, reconstructing
+// backends mid-measurement) fails CI.
+//
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
 // records GOMAXPROCS alongside every sample.
@@ -104,6 +114,23 @@ type Scenario struct {
 	// based); the workers recover with the reclaim-and-retry supervisor
 	// pattern. Keyed scenarios only.
 	CrashEvery uint64
+	// Supervised attaches a WithSupervisor self-management loop with
+	// deliberately aggressive thresholds (sub-millisecond ticks, adaptive
+	// pools, migration at low wake levels), so the adaptive machinery
+	// actually fires inside a benchmark-sized run. The warm-up is extended
+	// until the supervisor's shape policy stops migrating, so the measured
+	// pass prices the settled steady state — supervisor ticking included —
+	// and migration's backend constructions land outside the allocation
+	// window. Keyed scenarios only.
+	Supervised bool
+	// SkipUnpooled drops the pool=false cells: without the node pool,
+	// allocs/op is a function of which lock shapes the passages ran on,
+	// and for a supervised scenario the shape mix is the policy's
+	// schedule-dependent choice — not a stable machine-independent
+	// invariant a gate can pin (the same reason keyed_crash's file stays
+	// out of the gate entirely). The pool=true cell, where every shape's
+	// warm passage is allocation-free, is the committed claim.
+	SkipUnpooled bool
 	// AbortEvery, when non-zero, drives the table through LockContext and
 	// sheds every AbortEvery-th passage with a pre-expired deadline (the
 	// deterministic zero-allocation shed path); the rest acquire under a
@@ -284,6 +311,35 @@ func Scenarios() []Scenario {
 			SkipStrategies: []string{"spinpark"},
 		},
 		{
+			// The self-managing table cell (BENCH_keyed_adaptive.json): a
+			// deliberately skewed zipf workload on a 4-stripe × 48-port
+			// arena that starts on flat shards — the wrong shape for a
+			// 48-port hot stripe — under a supervisor aggressive enough to
+			// notice and migrate within the warm-up. The measured pass then
+			// prices the supervised steady state: traffic on the migrated
+			// shapes with the supervisor still ticking (sweeps, pool
+			// resizes, migration judgments) in the background, which is the
+			// configuration the self-management feature ships in. Crash-free
+			// and inside the zero-allocation gate: a supervisor tick that
+			// starts allocating, or a policy that keeps migrating at steady
+			// state (each swap constructs a backend), fails the gate.
+			// MigrationsPerOp in the sample records the lifetime migration
+			// count — proof the adaptive path ran, not just priced.
+			Name: "keyed_adaptive", File: "keyed_adaptive", Keyed: true, Zipf: true, Supervised: true,
+			Ports:  func() int { return 16 },
+			Iters:  40_000,
+			Keys:   4096,
+			Shards: 4, ShardPorts: 48,
+			Backend:      rme.FlatBackend,
+			SkipUnpooled: true,
+			// Yield cells only: spin-then-park's parked handoffs run this
+			// workload an order of magnitude slower, which starves the
+			// migration policy's per-tick minimum-sample gate — the cell
+			// would record a supervised table whose policy never has enough
+			// evidence to act, which is not the claim this file pins.
+			SkipStrategies: []string{"spinpark"},
+		},
+		{
 			// Hot-stripe baseline for the batch cells: eight workers lock
 			// a single stripe's keys one at a time, paying the full
 			// per-acquisition overhead per key.
@@ -395,7 +451,30 @@ type Sample struct {
 	// (ShardStats.Aborts + Timeouts as a warm-to-measured delta) — the
 	// abort cells' self-description, ~1/AbortEvery by construction.
 	ShedsPerOp float64 `json:"sheds_per_op,omitempty"`
+
+	// Supervised runs only: MigrationsPerOp is the supervisor's lifetime
+	// stripe-shape migration count normalized by the measured passage
+	// count. Lifetime rather than a measured-window delta on purpose: the
+	// warm-up deliberately absorbs the migrations (see
+	// Scenario.Supervised), so a window delta would read 0.0 in a healthy
+	// run and hide whether the adaptive machinery fired at all. A healthy
+	// cell shows a small non-zero value; 0.0 means the policy never
+	// migrated.
+	Supervised      bool    `json:"supervised,omitempty"`
+	MigrationsPerOp float64 `json:"migrations_per_op,omitempty"`
+
+	// TableStats is the keyed table's full post-run observability
+	// snapshot, captured only when CollectStats is set (rmebench's -stats
+	// flag) and stripped from the BENCH baselines — it is a point-in-time
+	// diagnostic dump, not a gate-comparable number.
+	TableStats *rme.TableStats `json:"table_stats,omitempty"`
 }
+
+// CollectStats makes Run attach each keyed cell's post-run
+// LockTable.Stats snapshot to its Sample (the TableStats field).
+// cmd/rmebench sets it for -stats; it is off by default because the
+// snapshot is diagnostic output, not part of the regression baseline.
+var CollectStats bool
 
 // locker is the common surface of Mutex and TreeMutex the harness drives.
 type locker interface {
@@ -648,9 +727,29 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 			rme.WithTreeInstrumentation(true))
 		lk = tm
 	case sc.Keyed:
-		tbl = rme.NewLockTable(sc.Shards, sc.ShardPorts,
+		opts := []rme.Option{
 			rme.WithWaitStrategy(strategyByName(strategy)), rme.WithNodePool(pool),
-			rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend))
+			rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend),
+		}
+		if sc.Supervised {
+			// Aggressive on purpose: benchmark cells live milliseconds, so
+			// the policy must observe, decide, and migrate within the
+			// warm-up. HotWakesPerOp sits far below a contended stripe's
+			// wakes-per-acquire (~1 under yield handoff) and far above an
+			// idle one's, so the judgment is stable once shapes settle.
+			opts = append(opts, rme.WithSupervisor(rme.SupervisorConfig{
+				Interval:        200 * time.Microsecond,
+				MaxHealsPerTick: 4,
+				AdaptivePorts:   true,
+				MinPorts:        4,
+				Migrate:         true,
+				HotWakesPerOp:   0.05,
+				ColdWakesPerOp:  0.005,
+				HysteresisTicks: 2,
+				QuiesceTimeout:  100 * time.Millisecond,
+			}))
+		}
+		tbl = rme.NewLockTable(sc.Shards, sc.ShardPorts, opts...)
 	default:
 		st := wait.Instrumented(strategyByName(strategy), stats)
 		lk = rme.New(ports, rme.WithWaitStrategy(st), rme.WithNodePool(pool))
@@ -664,6 +763,23 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		runKeyed(tbl, sc, warm, false)
 	} else {
 		runPassages(lk, ports, warm)
+	}
+	if tbl != nil && sc.Supervised {
+		// Let the supervisor's shape policy settle before measuring: keep
+		// running warm-sized chunks until one passes with no migration (or
+		// the bound runs out), so each swap's backend construction is
+		// allocated outside the measured window and the measured pass
+		// prices the settled shapes. Hysteresis makes this converge fast —
+		// a stationary workload stops migrating after the first flips.
+		prev := tbl.Stats().Supervisor.Migrations()
+		for i := 0; i < 8; i++ {
+			runKeyed(tbl, sc, warm, false)
+			cur := tbl.Stats().Supervisor.Migrations()
+			if cur == prev {
+				break
+			}
+			prev = cur
+		}
 	}
 	stats.Reset()
 	if tm != nil {
@@ -721,7 +837,15 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		s.Async = sc.Async
 		s.Batch = sc.Batch
 		s.Backend = tbl.Backend().String()
-		d := tbl.Stats().Total()
+		full := tbl.Stats()
+		if sc.Supervised {
+			s.Supervised = true
+			s.MigrationsPerOp = float64(full.Supervisor.Migrations()) / total
+		}
+		if CollectStats {
+			s.TableStats = &full
+		}
+		d := full.Total()
 		s.ShedsPerOp = float64((d.Aborts+d.Timeouts)-(keyedBase.Aborts+keyedBase.Timeouts)) / total
 		stats.Publishes.Store(d.Publishes - keyedBase.Publishes)
 		stats.Sleeps.Store(d.Sleeps - keyedBase.Sleeps)
@@ -770,7 +894,11 @@ func RunScenario(sc Scenario) []Sample {
 		if skip {
 			continue
 		}
-		for _, pool := range []bool{false, true} {
+		pools := []bool{false, true}
+		if sc.SkipUnpooled {
+			pools = []bool{true}
+		}
+		for _, pool := range pools {
 			out = append(out, Run(sc, name, pool))
 		}
 	}

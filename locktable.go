@@ -94,6 +94,21 @@ type LockTable struct {
 	// grant instead of auto-abandoning — the two hazards the abort design
 	// exists to prevent, reproducible on demand by the regression tests.
 	noAbortFixup atomic.Bool
+
+	// Self-management state (see supervisor.go). sup is the background
+	// supervisor, nil unless WithSupervisor was given; migMu serializes
+	// stripe-shape migrations (and SetCrashFunc, so an installed hook can
+	// never be lost across a backend swap); slack is the table-wide pool of
+	// port quota freed by shrunk stripes, spent by grows and steals;
+	// adaptive/minPorts mirror the supervisor's pool policy knobs onto the
+	// acquire path (the work-stealing fallback); supc is the always-present
+	// SupervisorStats counter block.
+	sup      *supervisor
+	migMu    sync.Mutex
+	slack    atomic.Int64
+	adaptive bool
+	minPorts int
+	supc     supCounters
 }
 
 // portLock is the contract a shard's lock backend satisfies: a k-ported
@@ -123,6 +138,14 @@ type portLock interface {
 	// without queuing — the racy fast-reject probe TryLock uses to keep
 	// ordinary misses free of protocol state.
 	freeHint(port int) bool
+	// quiesceExport is the stripe-migration hook: it verifies the lock is
+	// fully idle — no passage in flight on any port, every queue and
+	// descriptor retired — and exports the installed crash-injection hook
+	// so a replacement backend can inherit it. A false report means some
+	// port still carries protocol state and a swap would corrupt it; the
+	// migration barrier only calls this after draining the stripe's lease
+	// pool, so false is a bail-out signal, not an expected answer.
+	quiesceExport() (CrashFunc, bool)
 }
 
 var (
@@ -214,8 +237,31 @@ func (b ShardBackend) resolve(ports int) ShardBackend {
 // MCS — see portLock), the lease pool multiplexing workers onto its ports,
 // and the key each leased port is currently locking.
 type lockShard struct {
-	m    portLock
-	pool *PortLeaser
+	// lk holds the stripe's lock behind an atomic pointer so the
+	// supervisor can swap the backend live (see LockTable.migrateShard).
+	// Everything that touches the lock loads it through m(); the swap
+	// protocol guarantees the pointer never moves while any tenancy of the
+	// stripe is in flight, so a tenancy may re-load it freely — every load
+	// between its lease acquisition and release returns the same backend.
+	lk      atomic.Pointer[portLock]
+	backend atomic.Int32 // the ShardBackend lk currently holds
+	// mk rebuilds the stripe's lock in a given shape with the construction
+	// -time options (same instrumented strategy, same stats block), so a
+	// migration's replacement backend reports into the same counters.
+	mk func(ShardBackend) portLock
+	// strat is the stripe's effective (instrumented) wait strategy — the
+	// one gate and lease waits park under.
+	strat wait.Strategy
+	// gateClosed + gate are the stripe's migration barrier: while closed,
+	// new tenancies park on the gate chain instead of taking leases, so
+	// the stripe drains to quiescence and the backend can be swapped.
+	// gateOpen/leaseCond are the wait conditions, bound once so the gated
+	// slow path does not allocate.
+	gateClosed atomic.Bool
+	gate       wait.Chain
+	gateOpen   func() bool
+	leaseCond  func() bool
+	pool       *PortLeaser
 	// key[p] is the key port p's current tenancy is about: stored between
 	// lease acquisition and the port's Lock, read by Held/Unlock scans.
 	// Only meaningful while the port's lease is not free.
@@ -242,6 +288,10 @@ type lockShard struct {
 	reqMu   sync.Mutex
 	reqFree *asyncReq
 }
+
+// m returns the stripe's current lock backend. Safe to call at any time;
+// see the lk field for why a tenancy can re-load it between protocol steps.
+func (sh *lockShard) m() portLock { return *sh.lk.Load() }
 
 // tableSeedClock differentiates the default seeds of successive tables.
 var tableSeedClock atomic.Uint64
@@ -297,21 +347,31 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 		// wins over a table-wide WithWaitStrategy.
 		shOpts := append(append(make([]Option, 0, len(opts)+1), opts...),
 			WithWaitStrategy(wait.Instrumented(eff, stats)))
-		var m portLock
-		switch backend {
-		case TreeBackend:
-			m = NewTree(ports, shOpts...)
-		case MCSBackend:
-			m = NewMCS(ports, shOpts...)
-		default:
-			m = New(ports, shOpts...)
+		instrumented := wait.Instrumented(eff, stats)
+		mk := func(b ShardBackend) portLock {
+			switch b {
+			case TreeBackend:
+				return NewTree(ports, shOpts...)
+			case MCSBackend:
+				return NewMCS(ports, shOpts...)
+			default:
+				return New(ports, shOpts...)
+			}
 		}
-		t.shards[i] = lockShard{
-			m:     m,
-			pool:  NewPortLeaser(ports, shOpts...),
-			key:   make([]atomic.Uint64, ports),
-			stats: stats,
-		}
+		sh := &t.shards[i]
+		sh.mk = mk
+		sh.strat = instrumented
+		sh.pool = NewPortLeaser(ports, shOpts...)
+		sh.key = make([]atomic.Uint64, ports)
+		sh.stats = stats
+		m := mk(backend)
+		sh.lk.Store(&m)
+		sh.backend.Store(int32(backend))
+		sh.gateOpen = func() bool { return !sh.gateClosed.Load() }
+		sh.leaseCond = func() bool { return sh.pool.anyFree() || sh.gateClosed.Load() }
+	}
+	if cfg.sup != nil {
+		t.startSupervisor(*cfg.sup)
 	}
 	if cfg.asyncPrewarm > 0 {
 		// Warm every shard: the prewarm promise is per stripe (a request
@@ -368,6 +428,17 @@ type ShardStats struct {
 	// InboxDepth is the async dispatcher's current backlog: requests
 	// submitted but not yet swapped into a delivery batch.
 	InboxDepth int
+	// Backend is the lock shape currently behind the stripe — under a
+	// supervisor with migration enabled, stripes diverge from the
+	// construction-time choice, and this is where the divergence shows.
+	// Zero-valued (AutoBackend) in a Total() aggregate, where a single
+	// shape is meaningless.
+	Backend ShardBackend
+	// ActivePorts is the stripe's current lease-pool bound (see
+	// PortLeaser.Resize): how many of its capacity ports new tenancies are
+	// drawn from. Equal to the construction port count unless the adaptive
+	// pool policy has resized the stripe.
+	ActivePorts int
 }
 
 // WakesPerOp returns the stripe's wake count per completed acquisition —
@@ -381,9 +452,12 @@ func (s ShardStats) WakesPerOp() float64 {
 }
 
 // TableStats is the table-wide observability snapshot: one ShardStats per
-// stripe, in shard order.
+// stripe, in shard order, plus the supervisor's own counters (all zero on
+// a table without WithSupervisor, except Steals which the work-stealing
+// fallback can also drive).
 type TableStats struct {
-	Shards []ShardStats
+	Shards     []ShardStats
+	Supervisor SupervisorStats
 }
 
 // Total aggregates every stripe's counters into one ShardStats.
@@ -400,6 +474,7 @@ func (ts TableStats) Total() ShardStats {
 		sum.Timeouts += s.Timeouts
 		sum.Orphans += s.Orphans
 		sum.InboxDepth += s.InboxDepth
+		sum.ActivePorts += s.ActivePorts
 	}
 	return sum
 }
@@ -435,7 +510,10 @@ func (t *LockTable) Stats() TableStats {
 			}
 		}
 		s.InboxDepth = int(sh.disp.depth.Load())
+		s.Backend = ShardBackend(sh.backend.Load())
+		s.ActivePorts = sh.pool.Active()
 	}
+	ts.Supervisor = t.supc.snapshot()
 	return ts
 }
 
@@ -497,9 +575,90 @@ func hashString(s string) uint64 {
 // against itself (see the striping notes on LockTable).
 func (t *LockTable) Lock(key uint64) {
 	sh := t.shardOf(key)
-	l := sh.pool.Acquire()
+	l := t.acquireLease(sh)
 	sh.key[l.Port].Store(key)
 	sh.lockPort(l)
+}
+
+// acquireLease is the table's gated lease acquisition: every tenancy
+// start — sync, async dispatcher, batch walk — comes through here rather
+// than PortLeaser.Acquire, because two table-level concerns wrap the
+// pool's own wait. First the migration gate: while the stripe's barrier
+// is closed, entrants park on the gate chain instead of taking leases, so
+// the stripe drains and the backend can be swapped (see migrateShard).
+// Second the work-stealing fallback: a stripe that exhausts its active
+// ports under skew grows itself out of the table's slack quota instead of
+// parking, when the adaptive-pool policy is on.
+func (t *LockTable) acquireLease(sh *lockShard) PortLease {
+	l, _ := t.acquireLeaseDone(sh, nil)
+	return l
+}
+
+// acquireLeaseDone is acquireLease with a cancellation channel (nil =
+// wait forever); ok is false only if done closed first.
+func (t *LockTable) acquireLeaseDone(sh *lockShard, done <-chan struct{}) (PortLease, bool) {
+	for {
+		if sh.gateClosed.Load() {
+			if done == nil {
+				sh.gate.Wait(sh.strat, sh.gateOpen)
+			} else if !sh.gate.WaitDone(sh.strat, sh.gateOpen, done) {
+				return PortLease{}, false
+			}
+			continue
+		}
+		if l, ok := sh.pool.TryAcquire(); ok {
+			// Post-acquire gate re-check, the barrier's closing half of the
+			// Dekker handshake: this CAS (seq-cst) precedes this load, and
+			// the migration waiter stores gateClosed before scanning the
+			// lease words — so if the gate was already closed when we
+			// acquired, either this load sees it (we hand the port back and
+			// park) or our CAS landed before the waiter's scan and the
+			// barrier waits for this tenancy. Either way no tenancy can
+			// straddle the backend swap.
+			if sh.gateClosed.Load() {
+				sh.pool.Release(l)
+				continue
+			}
+			return l, true
+		}
+		if t.steal(sh) {
+			continue
+		}
+		if done == nil {
+			sh.pool.chain.Wait(sh.strat, sh.leaseCond)
+		} else if !sh.pool.chain.WaitDone(sh.strat, sh.leaseCond, done) {
+			return PortLease{}, false
+		}
+	}
+}
+
+// steal is the adaptive pool's work-stealing fallback: an acquirer that
+// found every active port of its stripe leased takes one unit of the
+// table's slack quota (banked by stripes the supervisor shrank) and
+// raises its own stripe's active bound with it, bounded by the stripe's
+// capacity. It reports whether a port was gained (the caller retries its
+// TryAcquire immediately). With the adaptive policy off — or no slack
+// banked — it does nothing and the acquirer parks as before.
+func (t *LockTable) steal(sh *lockShard) bool {
+	if !t.adaptive {
+		return false
+	}
+	for {
+		s := t.slack.Load()
+		if s <= 0 {
+			return false
+		}
+		if t.slack.CompareAndSwap(s, s-1) {
+			break
+		}
+	}
+	if sh.pool.grow(1) == 0 {
+		// The stripe was already at capacity; return the quota.
+		t.slack.Add(1)
+		return false
+	}
+	t.supc.steals.Add(1)
+	return true
 }
 
 // LockString is Lock for a string key.
@@ -510,13 +669,13 @@ func (t *LockTable) LockString(key string) { t.Lock(hashString(key)) }
 // passage must not allocate).
 func (sh *lockShard) lockPort(l PortLease) {
 	defer sh.pool.orphanGuard(l)
-	sh.m.Lock(l.Port)
+	sh.m().Lock(l.Port)
 	sh.acquires.Add(1)
 }
 
 func (sh *lockShard) unlockPort(l PortLease) {
 	defer sh.pool.orphanGuard(l)
-	sh.m.Unlock(l.Port)
+	sh.m().Unlock(l.Port)
 }
 
 // closedChan is the pre-closed cancellation channel TryLock hands to
@@ -542,12 +701,21 @@ var closedChan = func() chan struct{} {
 // background); the miss report is unaffected.
 func (t *LockTable) TryLock(key uint64) bool {
 	sh := t.shardOf(key)
+	if sh.gateClosed.Load() {
+		return false // stripe mid-migration: a try-lock declines, not parks
+	}
 	l, ok := sh.pool.TryAcquire()
 	if !ok {
 		return false
 	}
+	if sh.gateClosed.Load() {
+		// The migration barrier closed between the probe and the CAS (the
+		// same Dekker re-check as acquireLeaseDone); hand the port back.
+		sh.pool.Release(l)
+		return false
+	}
 	sh.key[l.Port].Store(key)
-	if !sh.m.freeHint(l.Port) {
+	if !sh.m().freeHint(l.Port) {
 		sh.pool.Release(l)
 		return false
 	}
@@ -588,7 +756,7 @@ func (t *LockTable) LockContext(ctx context.Context, key uint64) error {
 		t.Lock(key)
 		return nil
 	}
-	l, ok := sh.pool.AcquireDone(done)
+	l, ok := t.acquireLeaseDone(sh, done)
 	if !ok {
 		return sh.shed(ctx)
 	}
@@ -609,7 +777,7 @@ func (t *LockTable) LockContextString(ctx context.Context, key string) error {
 // guard, bumping the stripe's acquire counter only when the lock was won.
 func (sh *lockShard) lockPortDone(l PortLease, done <-chan struct{}) bool {
 	defer sh.pool.orphanGuard(l)
-	if !sh.m.LockDone(l.Port, done) {
+	if !sh.m().LockDone(l.Port, done) {
 		return false
 	}
 	sh.acquires.Add(1)
@@ -667,10 +835,10 @@ func (sh *lockShard) abortTenancy(t *LockTable, l PortLease) {
 // sweep runs on an orphan, applied to the aborting caller's own port.
 func (sh *lockShard) reclaimAborted(l PortLease) {
 	for {
-		if crashes(func() { sh.m.Lock(l.Port) }) {
+		if crashes(func() { sh.m().Lock(l.Port) }) {
 			continue
 		}
-		if !crashes(func() { sh.m.Unlock(l.Port) }) {
+		if !crashes(func() { sh.m().Unlock(l.Port) }) {
 			break
 		}
 	}
@@ -691,7 +859,7 @@ func (sh *lockShard) holderOf(key uint64) (PortLease, bool) {
 		if w&leaseStateMask != leaseHeld {
 			continue
 		}
-		if sh.m.Held(p) {
+		if sh.m().Held(p) {
 			return PortLease{Port: p, epoch: w >> leaseEpochShift}, true
 		}
 	}
@@ -729,7 +897,7 @@ func (t *LockTable) Held(key uint64) bool {
 		if sh.pool.words[p].Load()&leaseStateMask == leaseFree {
 			continue
 		}
-		if sh.m.Held(p) {
+		if sh.m().Held(p) {
 			return true
 		}
 	}
@@ -768,11 +936,25 @@ func (t *LockTable) InUse() int {
 	return n
 }
 
-// Quiesced reports whether every port of every shard is free — no live
-// tenancies, no orphans awaiting recovery. Like all inspection methods it
-// is a racy snapshot; it is exact once workers have stopped.
+// Quiesced reports whether the table has no work in flight: every port of
+// every shard free — no live tenancies, no orphans awaiting recovery —
+// and every async dispatcher's inbox empty. The inbox half is load-
+// bearing: a queued-but-undispatched request holds no lease yet but will
+// take one the moment its dispatcher drains, so a table with a non-empty
+// inbox has not quiesced even if InUse() is momentarily zero (the
+// regression that motivated the check — and the condition the migration
+// barrier's drain relies on). Like all inspection methods it is a racy
+// snapshot; it is exact once submitters have stopped.
 func (t *LockTable) Quiesced() bool {
-	return t.InUse() == 0
+	if t.InUse() != 0 {
+		return false
+	}
+	for i := range t.shards {
+		if t.shards[i].disp.depth.Load() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Reclaim is ReclaimWith(nil).
@@ -830,17 +1012,17 @@ func (t *LockTable) ReclaimWith(fn func(key uint64, inCS bool)) int {
 			defer wg.Done()
 			sh, port := c.sh, c.l.Port
 			if fn != nil {
-				fn(sh.key[port].Load(), sh.m.Held(port))
+				fn(sh.key[port].Load(), sh.m().Held(port))
 			}
 			// Run the port's recovery to completion, absorbing injected
 			// crashes: Lock recovers whatever the dead worker left (CS
 			// re-entry, queue repair, exit completion), Unlock releases;
 			// a crash during Unlock is in turn recovered by the next Lock.
 			for {
-				if crashes(func() { sh.m.Lock(port) }) {
+				if crashes(func() { sh.m().Lock(port) }) {
 					continue
 				}
-				if !crashes(func() { sh.m.Unlock(port) }) {
+				if !crashes(func() { sh.m().Unlock(port) }) {
 					break
 				}
 			}
@@ -888,11 +1070,15 @@ func (t *LockTable) Do(key uint64, fn func()) {
 func (t *LockTable) DoString(key string, fn func()) { t.Do(hashString(key), fn) }
 
 // SetCrashFunc installs (or, with nil, removes) the crash-injection hook
-// on every shard's Mutex. The hook's port argument is the shard-local
-// port.
+// on every shard's lock. The hook's port argument is the shard-local
+// port. Serialized against stripe migrations (a backend swap exports the
+// old lock's hook onto its replacement, so an install racing a swap can
+// never be lost).
 func (t *LockTable) SetCrashFunc(fn CrashFunc) {
+	t.migMu.Lock()
+	defer t.migMu.Unlock()
 	for i := range t.shards {
-		t.shards[i].m.SetCrashFunc(fn)
+		t.shards[i].m().SetCrashFunc(fn)
 	}
 }
 

@@ -369,6 +369,12 @@ func (t *LockTable) Close() {
 	if t.closed.Swap(true) {
 		return
 	}
+	// Join the supervisor first: its loop must not start a migration or a
+	// resize against a table that is winding down, and Close returning means
+	// no supervisor work is still in flight (heal goroutines included).
+	if t.sup != nil {
+		t.sup.join()
+	}
 	for i := range t.shards {
 		t.shards[i].disp.cell.Wake()
 	}
@@ -460,7 +466,11 @@ func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
 	var l PortLease
 	for {
 		crashed := crashes(func() {
-			l = sh.pool.Acquire()
+			// The gated table acquisition, not pool.Acquire directly: a
+			// dispatcher mid-migration parks on the stripe's gate like any
+			// other entrant (it holds deliverMu, which the migration never
+			// takes, so parking here cannot deadlock the barrier).
+			l = t.acquireLease(sh)
 			sh.key[l.Port].Store(r.key)
 			sh.lockPort(l)
 		})

@@ -176,7 +176,7 @@ func (b *Batch) lockAll() {
 			j++
 		}
 		sh := &b.t.shards[b.shard[i]]
-		l := sh.pool.Acquire()
+		l := b.t.acquireLease(sh)
 		// Register the run's first key as the tenancy's key: Held and
 		// ReclaimWith report a stripe-representative key for batch
 		// tenancies, the same way a striped Lock reports the key it was
@@ -185,7 +185,7 @@ func (b *Batch) lockAll() {
 		// Record before locking: a crash inside Lock must find this
 		// stripe in the held set.
 		b.stripes = append(b.stripes, batchStripe{sh: sh, l: l})
-		sh.m.Lock(l.Port)
+		sh.m().Lock(l.Port)
 		sh.acquires.Add(1)
 		i = j
 	}
@@ -206,13 +206,13 @@ func (b *Batch) lockAllDone(done <-chan struct{}) *lockShard {
 			j++
 		}
 		sh := &b.t.shards[b.shard[i]]
-		l, ok := sh.pool.AcquireDone(done)
+		l, ok := b.t.acquireLeaseDone(sh, done)
 		if !ok {
 			return sh
 		}
 		sh.key[l.Port].Store(b.keys[i])
 		b.stripes = append(b.stripes, batchStripe{sh: sh, l: l})
-		if !sh.m.LockDone(l.Port, done) {
+		if !sh.m().LockDone(l.Port, done) {
 			// The aborted stripe repairs itself; drop it from the held set
 			// so neither the crash guard nor the caller's unwind touches
 			// its (now reclaiming) lease.
@@ -253,7 +253,7 @@ func (b *Batch) Unlock() {
 	defer b.orphanUnreleasedOnCrash()
 	for i := range b.stripes {
 		st := &b.stripes[i]
-		st.sh.m.Unlock(st.l.Port)
+		st.sh.m().Unlock(st.l.Port)
 		st.sh.pool.Release(st.l)
 		b.released = i + 1
 	}

@@ -51,6 +51,7 @@ type config struct {
 	asyncPrewarm int
 	backend      ShardBackend
 	shardStrat   func(shard int) WaitStrategy
+	sup          *SupervisorConfig
 }
 
 func buildConfig(opts []Option) config {
@@ -162,6 +163,24 @@ func WithShardBackend(b ShardBackend) Option {
 // see WithDispatcherSpin). New and NewTree ignore the option.
 func WithShardStrategy(fn func(shard int) WaitStrategy) Option {
 	return func(c *config) { c.shardStrat = fn }
+}
+
+// WithSupervisor attaches a background supervisor goroutine to a
+// LockTable: a policy loop that periodically snapshots the table's
+// counters and acts on them — sweeping orphaned ports (and abandoned
+// async grants, which park in the same orphan state) under a liveness
+// budget, resizing per-stripe port pools toward the observed load, and
+// migrating stripes between the flat, MCS, and tree lock shapes as their
+// contention profile shifts. A supervised table needs no caller-driven
+// Reclaim pattern: crash, cancel-after-grant, and abandoned-grant debris
+// all heal in the background. Close() stops the supervisor and joins it
+// before winding down the dispatchers.
+//
+// The zero SupervisorConfig is valid and selects reclaim-only supervision
+// with default cadence; see SupervisorConfig for the adaptive knobs. New,
+// NewTree, and NewMCS ignore the option.
+func WithSupervisor(sc SupervisorConfig) Option {
+	return func(c *config) { c.sup = &sc }
 }
 
 // WithTreeInstrumentation makes NewTree attach a WaitStats counter block

@@ -1,0 +1,99 @@
+package rme
+
+import "encoding/json"
+
+// JSON shapes for the observability snapshots, so a monitoring pipeline
+// (or rmebench's -stats flag) can dump a table's state without writing
+// its own adapters. The encodings are explicit rather than the default
+// struct reflection: field names are stable snake_case (safe to rename Go
+// fields later), backends marshal as their String() names rather than
+// bare ints, and the derived wakes-per-op ratio is included so dashboards
+// need no client-side arithmetic.
+
+// MarshalJSON encodes the backend as its String() name ("flat", "tree",
+// "mcs", "auto").
+func (b ShardBackend) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.String())
+}
+
+type shardStatsJSON struct {
+	Acquires    uint64  `json:"acquires"`
+	Publishes   uint64  `json:"publishes"`
+	Wakes       uint64  `json:"wakes"`
+	Sleeps      uint64  `json:"sleeps"`
+	Parks       uint64  `json:"parks"`
+	SpinRounds  uint64  `json:"spin_rounds"`
+	Aborts      uint64  `json:"aborts"`
+	Timeouts    uint64  `json:"timeouts"`
+	Orphans     int     `json:"orphans"`
+	InboxDepth  int     `json:"inbox_depth"`
+	Backend     string  `json:"backend"`
+	ActivePorts int     `json:"active_ports"`
+	WakesPerOp  float64 `json:"wakes_per_op"`
+}
+
+// MarshalJSON encodes the stripe snapshot with stable snake_case keys,
+// the backend by name, and the derived wakes-per-op ratio inlined.
+func (s ShardStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(shardStatsJSON{
+		Acquires:    s.Acquires,
+		Publishes:   s.Publishes,
+		Wakes:       s.Wakes,
+		Sleeps:      s.Sleeps,
+		Parks:       s.Parks,
+		SpinRounds:  s.SpinRounds,
+		Aborts:      s.Aborts,
+		Timeouts:    s.Timeouts,
+		Orphans:     s.Orphans,
+		InboxDepth:  s.InboxDepth,
+		Backend:     s.Backend.String(),
+		ActivePorts: s.ActivePorts,
+		WakesPerOp:  s.WakesPerOp(),
+	})
+}
+
+type supervisorStatsJSON struct {
+	Sweeps           uint64 `json:"sweeps"`
+	StripesHealed    uint64 `json:"stripes_healed"`
+	PortsHealed      uint64 `json:"ports_healed"`
+	MigrationsToFlat uint64 `json:"migrations_to_flat"`
+	MigrationsToMCS  uint64 `json:"migrations_to_mcs"`
+	MigrationsToTree uint64 `json:"migrations_to_tree"`
+	Migrations       uint64 `json:"migrations"`
+	Grows            uint64 `json:"grows"`
+	Shrinks          uint64 `json:"shrinks"`
+	Steals           uint64 `json:"steals"`
+}
+
+// MarshalJSON encodes the supervisor snapshot with stable snake_case keys
+// and the total migration count inlined alongside the by-direction split.
+func (s SupervisorStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(supervisorStatsJSON{
+		Sweeps:           s.Sweeps,
+		StripesHealed:    s.StripesHealed,
+		PortsHealed:      s.PortsHealed,
+		MigrationsToFlat: s.MigrationsToFlat,
+		MigrationsToMCS:  s.MigrationsToMCS,
+		MigrationsToTree: s.MigrationsToTree,
+		Migrations:       s.Migrations(),
+		Grows:            s.Grows,
+		Shrinks:          s.Shrinks,
+		Steals:           s.Steals,
+	})
+}
+
+type tableStatsJSON struct {
+	Shards     []ShardStats    `json:"shards"`
+	Total      ShardStats      `json:"total"`
+	Supervisor SupervisorStats `json:"supervisor"`
+}
+
+// MarshalJSON encodes the whole table snapshot: the per-stripe array, the
+// Total() aggregate, and the supervisor's counters.
+func (ts TableStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableStatsJSON{
+		Shards:     ts.Shards,
+		Total:      ts.Total(),
+		Supervisor: ts.Supervisor,
+	})
+}
