@@ -34,7 +34,7 @@ func main() {
 		md       = flag.Bool("md", false, "emit EXPERIMENTS.md markdown to stdout")
 		jsonOut  = flag.Bool("json", false, "benchmark the runtime lock per wait strategy and write BENCH_<scenario>.json files")
 		outDir   = flag.String("outdir", ".", "directory for the BENCH_<scenario>.json files")
-		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_abort, keyed_abort_tree, keyed_abort_mcs, keyed_async, keyed_adaptive, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree, keyed_mcs); scenarios sharing a BENCH file should be regenerated together")
+		scenario = flag.String("scenario", "", "with -json: run only these comma-separated scenarios (uncontended, contended8, oversubscribed, tree, tree_oversubscribed, keyed_uniform, keyed_zipf, keyed_crash, keyed_abort, keyed_abort_tree, keyed_abort_mcs, keyed_async, keyed_adaptive, keyed_hot8, keyed_batch, keyed_hiport, keyed_tree, keyed_mcs, keyed_syscrash, keyed_syscrash_1m); scenarios sharing a BENCH file should be regenerated together")
 		backend  = flag.String("backend", "", "with -json: force every keyed scenario onto this shard backend (flat, tree, mcs, auto; case-insensitive) instead of each scenario's own — for ad-hoc backend comparisons; leave unset when regenerating committed baselines")
 		stats    = flag.Bool("stats", false, "with -json: capture each keyed cell's post-run TableStats snapshot (per-stripe counters, backends, active ports, supervisor activity) and write STATS_<file>.json alongside the BENCH files; the snapshots are stripped from the BENCH files themselves, which record only gate-comparable samples")
 		compare  = flag.String("compare", "", "comma-separated baseline BENCH_<scenario>.json files: re-run their scenarios and exit non-zero on regression")
@@ -249,10 +249,12 @@ type cellKey struct {
 
 // compareCell judges one fresh sample against its baseline: "ok", or the
 // regression verdict. Allocations gate machine-independently; ns/op only
-// against a baseline recorded at the same GOMAXPROCS.
+// against a baseline recorded at the same GOMAXPROCS. A baseline cell
+// flagged AllocExempt (the syscrash rounds, whose allocations are arena
+// construction by design) is gated on ns/op only.
 func compareCell(b, s rtbench.Sample, tol float64) string {
 	const allocEps = 0.01
-	if s.AllocsPerOp > b.AllocsPerOp+allocEps {
+	if !b.AllocExempt && s.AllocsPerOp > b.AllocsPerOp+allocEps {
 		return "ALLOCS REGRESSION"
 	}
 	if s.GOMAXPROCS == b.GOMAXPROCS && s.NsPerOp > b.NsPerOp*(1+tol) {
@@ -265,7 +267,9 @@ func compareCell(b, s rtbench.Sample, tol float64) string {
 // and fails (non-nil error) on a performance regression against them:
 //
 //   - allocs/op may not increase (beyond a 0.01 rounding epsilon) — this
-//     is the machine-independent zero-allocation gate;
+//     is the machine-independent zero-allocation gate; cells whose baseline
+//     carries the AllocExempt flag skip it (their allocations are by-design
+//     construction work, not leaks) and gate on ns/op alone;
 //   - ns/op may not increase by more than tol, compared only when the
 //     baseline was recorded at the same GOMAXPROCS (wall-clock numbers
 //     from a different core count are not comparable).
@@ -434,7 +438,14 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("at ~1 wake per passage, below flat's broadcast); plus")
 	fmt.Println("BENCH_keyed_crash.json for the table under a deterministic")
 	fmt.Println("crash mix, kept out of the allocation gate because recovery")
-	fmt.Println("allocations are schedule-dependent) across the wait-strategy ×")
+	fmt.Println("allocations are schedule-dependent;")
+	fmt.Println("and BENCH_syscrash.json for the system-wide crash tier —")
+	fmt.Println("keyed_syscrash and keyed_syscrash_1m each measure whole")
+	fmt.Println("crash/checkpoint/restore rounds at 1e5- and 1e6-key scale, with")
+	fmt.Println("ns/op defined as time-to-first-grant after the crash and the")
+	fmt.Println("full-heal time and checkpoint size recorded alongside; the cells")
+	fmt.Println("are alloc-exempt, so the gate pins recovery latency, not the")
+	fmt.Println("restore's by-design arena construction) across the wait-strategy ×")
 	fmt.Println("node-pool matrix. With the generation-stamped wait engine and the")
 	fmt.Println("node pool on, every crash-free passage — flat, tree, or keyed,")
 	fmt.Println("sync, async, or batched, contended or not, under any strategy —")
@@ -446,5 +457,20 @@ func emitMarkdown(all []experiments.Runner) (failed int) {
 	fmt.Println("rose at all or ns/op rose past the -tol threshold on a comparable")
 	fmt.Println("host (CI runs this as a smoke gate). `go test -bench . -benchmem`")
 	fmt.Println("runs the same workloads as standard Go benchmarks (E12–E18).")
+	fmt.Println()
+	fmt.Println("The syscrash cells are worth reading against the successor paper's")
+	fmt.Println("claim (constant-RMR recoverable mutual exclusion under system-wide")
+	fmt.Println("crashes in O(1) persistent space per process): what Checkpoint")
+	fmt.Println("persists is exactly the arena — one lease word, key, and CS bit per")
+	fmt.Println("port — and nothing per process, waiter, or request, so the committed")
+	fmt.Println("image grows only with shards×ports and not with the keyspace (the")
+	fmt.Println("1e6-key cell's image is bigger than the 1e5-key cell's only because")
+	fmt.Println("its arena is 8x larger; another decade of keys at the same arena")
+	fmt.Println("would cost zero additional bytes). Recovery time after the crash")
+	fmt.Println("tracks the number of dead tenancies, not the keyspace either:")
+	fmt.Println("time-to-first-grant and full-heal land within a few percent of each")
+	fmt.Println("other on the committed run because the two-phase sweep recovers the")
+	fmt.Println("dead stripes concurrently, which is the library-level analogue of")
+	fmt.Println("the paper's per-process O(1) recovery work.")
 	return failed
 }

@@ -31,10 +31,14 @@
 // exclusively; two live goroutines must never share a port. Ports are how a
 // successor process proves it is the continuation of a dead one.
 //
-// Two lock shapes are provided: Mutex is the paper's flat k-ported
-// algorithm (O(1) RMRs per crash-free passage), and TreeMutex is the
+// Three lock shapes are provided: Mutex is the paper's flat k-ported
+// algorithm (O(1) RMRs per crash-free passage); TreeMutex is the
 // Section 3.3 arbitration tree for n processes (O((1+f)·log n/log log n)
-// per super-passage, the paper's headline bound).
+// per super-passage, the paper's headline bound); and MCSMutex is a
+// recoverable MCS queue lock that keeps the O(1)-RMR passage while
+// bounding crash repair to the dead port's own queue neighborhood. All
+// three serve as shard backends for the keyed LockTable (see "Choosing a
+// shard backend" below).
 //
 // # Tuning
 //
@@ -77,7 +81,8 @@
 //     be queued behind each other's dead nodes — and returns them to the
 //     pool.
 //   - LockTable is the keyed lock service built from both: string or
-//     uint64 keys hash onto shards, each shard one k-ported Mutex plus a
+//     uint64 keys hash onto shards, each shard one k-ported recoverable
+//     lock (flat, tree, or MCS — see "Choosing a shard backend") plus a
 //     lease pool, so an unbounded keyspace shares O(shards·ports) of
 //     permanent lock state. Mutual exclusion is per key via striping
 //     (same-stripe keys contend, which is coarser but never unsound);
@@ -271,6 +276,53 @@
 // feature's cost claim: a supervised table at steady state — supervisor
 // ticking, pools adapted, hot stripes migrated — still runs crash-free
 // passages allocation-free.
+//
+// # System-wide crashes and snapshots
+//
+// Everything above assumes the paper's independent-failure model: one
+// participant dies, its port is orphaned, and some surviving party — a
+// supervisor goroutine, a replacement worker, the abort path — runs
+// recovery in the same process. A system-wide crash (the model of the
+// 2023 successor work on recoverable mutexes under full-system failures)
+// breaks that assumption: the whole process dies at once, every lessee
+// with it, and nothing survives to call Reclaim. What persists is only
+// what lives in stable storage; recovery must be driven by the next
+// incarnation, from that image alone.
+//
+// Checkpoint and RestoreTable are that tier. Checkpoint serializes the
+// durable half of a LockTable — the arena shape (stripes, per-stripe
+// backend and active-port bound, seed) and every port's lease word, key,
+// and critical-section ownership — into a self-describing, versioned,
+// checksummed byte image; in the NVRAM reading, these are the words the
+// paper's model keeps in non-volatile memory, while parked waiters,
+// async inboxes, and undelivered grants are volatile process state and
+// are deliberately not captured (an undelivered Grant's tenancy IS
+// captured, as a held lease). The snapshot is crash-consistent
+// (per-word atomic) at any moment and exact when the table is quiesced
+// or post-mortem. RestoreTable builds a fresh table that adopts the
+// image: every fencing epoch is advanced past the old incarnation's (a
+// straggler holding pre-crash state can never CAS successfully), every
+// non-free lease — orphaned, mid-reclaim, or still Held by a lessee who
+// no longer exists — surfaces as an orphan, and a dead holder's
+// critical-section ownership is re-established on the fresh backend so
+// recovery observes exactly what the crash left. Options passed to
+// RestoreTable act as assertions where they would change the arena
+// (seed, shard backend): a mismatch with the image is an error, never a
+// silent reshape.
+//
+// The restored table is immediately safe but not immediately available:
+// adopted dead holders still own their stripes' critical sections, so
+// acquisitions on those stripes queue until the orphan sweep releases
+// them. Run Reclaim (or ReclaimWith, to learn which keys were stranded
+// and redo/undo application state) before serving traffic, or restore
+// with WithSupervisor — a restored supervised table whose image carried
+// orphans sweeps eagerly on its first tick instead of sleeping a full
+// interval. The committed BENCH_syscrash.json baselines price this
+// path: time-to-first-grant after a full-table crash at 1e5 and 1e6
+// keys, with the full-heal time alongside. The crash models and the
+// recovery lifecycle are diagrammed in ARCHITECTURE.md; the
+// process-boundary proof (an exec'd child restoring from bytes alone)
+// is TestSyscrashProcessBoundary.
 //
 // # Crash injection
 //

@@ -42,3 +42,18 @@ func (t *LockTable) SetAdaptive(on bool, slack int) {
 	t.adaptive = on
 	t.slack.Store(int64(slack))
 }
+
+// GateClosed reports whether one stripe's migration barrier is currently
+// closed (mid-quiesce) — how the checkpoint tests pin "snapshot taken
+// while a migration drain is in flight" without sleeping and hoping.
+func (t *LockTable) GateClosed(shard int) bool { return t.shards[shard].gateClosed.Load() }
+
+// PortEpoch reports one port's current lease-word fencing epoch, so the
+// restore tests can assert every epoch advanced strictly across the
+// process boundary.
+func (t *LockTable) PortEpoch(shard, port int) uint64 { return t.shards[shard].pool.epochOf(port) }
+
+// PortLeaseState reports one port's lease state.
+func (t *LockTable) PortLeaseState(shard, port int) LeaseState {
+	return t.shards[shard].pool.State(port)
+}

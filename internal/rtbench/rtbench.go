@@ -44,6 +44,15 @@
 // steady-state tick allocates (or whose policy flaps, reconstructing
 // backends mid-measurement) fails CI.
 //
+// The system-wide crash tier (BENCH_syscrash.json) prices the whole-table
+// failure model: keyed_syscrash and keyed_syscrash_1m each measure full
+// crash/checkpoint/restore rounds at 1e5- and 1e6-key scale, with ns/op
+// defined as time-to-first-grant after the crash so the CI ns gate pins
+// recovery latency. The cells carry the per-sample AllocExempt flag — a
+// restore round reconstructs whole arenas, so allocs/op measures
+// construction, not leaks — which keeps the file inside the -compare gate
+// for latency while staying out of the zero-allocation claim.
+//
 // Unlike the E1–E11 experiment harness (internal/experiments), these
 // numbers are hardware- and scheduler-dependent; the JSON therefore
 // records GOMAXPROCS alongside every sample.
@@ -137,6 +146,16 @@ type Scenario struct {
 	// live cancellable context, so the whole cancel plumbing is on the
 	// measured path. Keyed scenarios only, crash-free only.
 	AbortEvery uint64
+	// SysCrash replaces the passage loop with full-table crash rounds:
+	// each measured iteration builds an arena, parks one live tenancy per
+	// worker inside its critical section, kills the whole population at
+	// once (nobody ever releases — the process-death model), checkpoints,
+	// and restores into a fresh table whose orphan sweep runs concurrently
+	// with a waiting acquirer. NsPerOp records time-to-first-grant after
+	// the crash — restore plus however much recovery the first grant had
+	// to wait for — so the ns regression gate pins recovery latency; the
+	// full-heal time is recorded alongside. Keyed scenarios only.
+	SysCrash bool
 	// Ports returns the port count (= worker goroutines), which may
 	// depend on GOMAXPROCS.
 	Ports func() int
@@ -340,6 +359,43 @@ func Scenarios() []Scenario {
 			SkipStrategies: []string{"spinpark"},
 		},
 		{
+			// The system-wide crash tier (BENCH_syscrash.json): every
+			// iteration is one full crash/recover round at a 1e5 keyspace —
+			// 64 lessees die inside their critical sections across a
+			// 128-stripe arena, the wreckage is checkpointed, and a fresh
+			// incarnation restores from the bytes while an acquirer waits.
+			// ns/op IS time-to-first-grant after the crash, which puts
+			// recovery latency under the CI ns gate; full-heal time and
+			// checkpoint size ride along in the sample. Restoring
+			// reconstructs whole arenas, so allocations are dominated by
+			// construction and the cells are flagged alloc-exempt (the
+			// keyed_crash precedent, made per-sample).
+			Name: "keyed_syscrash", File: "syscrash", Keyed: true, SysCrash: true,
+			Ports:  func() int { return 64 },
+			Iters:  8,
+			Keys:   100_000,
+			Shards: 128, ShardPorts: 8,
+			Backend:        rme.FlatBackend,
+			SkipUnpooled:   true,
+			SkipStrategies: []string{"spin", "spinpark"},
+		},
+		{
+			// The same crash/recover round an order of magnitude up: a 1e6
+			// keyspace over a 512×16 arena with 128 dead lessees. Read
+			// against keyed_syscrash to see how recovery latency scales
+			// with arena size — the 2023 successor paper's O(1)-space
+			// system-wide recovery claim predicts the per-stripe sweep is
+			// what grows, not any per-process state.
+			Name: "keyed_syscrash_1m", File: "syscrash", Keyed: true, SysCrash: true,
+			Ports:  func() int { return 128 },
+			Iters:  4,
+			Keys:   1_000_000,
+			Shards: 512, ShardPorts: 16,
+			Backend:        rme.FlatBackend,
+			SkipUnpooled:   true,
+			SkipStrategies: []string{"spin", "spinpark"},
+		},
+		{
 			// Hot-stripe baseline for the batch cells: eight workers lock
 			// a single stripe's keys one at a time, paying the full
 			// per-acquisition overhead per key.
@@ -451,6 +507,21 @@ type Sample struct {
 	// (ShardStats.Aborts + Timeouts as a warm-to-measured delta) — the
 	// abort cells' self-description, ~1/AbortEvery by construction.
 	ShedsPerOp float64 `json:"sheds_per_op,omitempty"`
+
+	// SysCrash runs only. TimeToFirstGrantNs duplicates NsPerOp under its
+	// own name (one round = one op, and the op IS the first grant's
+	// latency); FullHealNs is the mean time from restore start until the
+	// concurrent orphan sweep has healed every dead tenancy and
+	// Orphans()==0; CheckpointNs and CheckpointBytes price the snapshot
+	// itself. AllocExempt marks the cell as outside the allocs/op
+	// regression gate: a restore round rebuilds whole arenas, so its
+	// allocation count measures construction, not a leak — rmebench's
+	// -compare honors the flag instead of keying off file names.
+	TimeToFirstGrantNs float64 `json:"ttfg_ns,omitempty"`
+	FullHealNs         float64 `json:"full_heal_ns,omitempty"`
+	CheckpointNs       float64 `json:"checkpoint_ns,omitempty"`
+	CheckpointBytes    int     `json:"checkpoint_bytes,omitempty"`
+	AllocExempt        bool    `json:"alloc_exempt,omitempty"`
 
 	// Supervised runs only: MigrationsPerOp is the supervisor's lifetime
 	// stripe-shape migration count normalized by the measured passage
@@ -674,6 +745,126 @@ func runKeyed(tbl *rme.LockTable, sc Scenario, total int, crashing bool) {
 	}
 }
 
+// syscrashStripeKeys returns one key per distinct stripe, n of them, drawn
+// from the scenario's keyspace — the dead lessees' keys, spread so every
+// death lands on its own stripe and recovery parallelism is the arena's.
+func syscrashStripeKeys(tbl *rme.LockTable, n int, keys uint64) []uint64 {
+	out := make([]uint64, 0, n)
+	seen := make(map[int]bool, n)
+	for k := uint64(1); len(out) < n && k < keys; k++ {
+		if si := tbl.ShardIndex(k); !seen[si] {
+			seen[si] = true
+			out = append(out, k)
+		}
+	}
+	if len(out) < n {
+		panic(fmt.Sprintf("rtbench: keyspace %d spans fewer than %d stripes", keys, n))
+	}
+	return out
+}
+
+// runSysCrashRound is one full system-wide crash and recovery: build the
+// arena, park one tenancy per worker inside its critical section, crash
+// the whole population (no release ever comes — the goroutines end holding,
+// which is exactly what a process death leaves), checkpoint, and restore
+// into a fresh incarnation whose orphan sweep runs concurrently with one
+// waiting acquirer. Returns the round's latencies and checkpoint size.
+func runSysCrashRound(sc Scenario, strategy string, pool bool) (ttfg, heal, ckpt time.Duration, bytes int) {
+	opts := []rme.Option{
+		rme.WithWaitStrategy(strategyByName(strategy)), rme.WithNodePool(pool),
+		rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend),
+	}
+	tbl := rme.NewLockTable(sc.Shards, sc.ShardPorts, opts...)
+	keys := syscrashStripeKeys(tbl, sc.Ports(), sc.Keys)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k uint64) {
+			defer wg.Done()
+			tbl.Lock(k) // and die holding: the system-wide crash
+		}(k)
+	}
+	wg.Wait()
+
+	t0 := time.Now()
+	image, err := tbl.Checkpoint()
+	if err != nil {
+		panic(fmt.Sprintf("rtbench: checkpoint: %v", err))
+	}
+	ckpt = time.Since(t0)
+	bytes = len(image)
+	tbl.Close()
+
+	// The restored incarnation: every dead tenancy surfaces as an orphan,
+	// the sweep runs concurrently, and the prober's acquisition queues
+	// behind an adopted dead holder until recovery releases it — the
+	// post-crash availability story, timed.
+	t1 := time.Now()
+	nt, err := rme.RestoreTable(image, rme.WithWaitStrategy(strategyByName(strategy)), rme.WithNodePool(pool))
+	if err != nil {
+		panic(fmt.Sprintf("rtbench: restore: %v", err))
+	}
+	healed := make(chan struct{})
+	go func() {
+		nt.Reclaim()
+		close(healed)
+	}()
+	nt.Lock(keys[0])
+	ttfg = time.Since(t1)
+	nt.Unlock(keys[0])
+	<-healed
+	heal = time.Since(t1)
+	if n := nt.Orphans(); n != 0 {
+		panic(fmt.Sprintf("rtbench: %d orphans survived the post-crash sweep", n))
+	}
+	nt.Close()
+	return ttfg, heal, ckpt, bytes
+}
+
+// runSysCrashCell measures one syscrash matrix cell: a warm round outside
+// the window, then Iters crash/recover rounds. NsPerOp is the mean
+// time-to-first-grant, so the regular ns regression gate pins recovery
+// latency; allocations per round are construction-dominated and the cell
+// is marked AllocExempt.
+func runSysCrashCell(sc Scenario, strategy string, pool bool) Sample {
+	runSysCrashRound(sc, strategy, pool) // warm: code paths, park channels
+
+	var ttfg, heal, ckpt time.Duration
+	var bytes int
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < sc.Iters; i++ {
+		dt, dh, dc, b := runSysCrashRound(sc, strategy, pool)
+		ttfg += dt
+		heal += dh
+		ckpt += dc
+		bytes = b
+	}
+	runtime.ReadMemStats(&ms1)
+
+	total := float64(sc.Iters)
+	meanTTFG := float64(ttfg.Nanoseconds()) / total
+	return Sample{
+		Scenario:    sc.Name,
+		Strategy:    strategy,
+		Pool:        pool,
+		Ports:       sc.Ports(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Iters:       sc.Iters,
+		NsPerOp:     meanTTFG,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / total,
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / total,
+		Keys:        sc.Keys,
+		Backend:     sc.Backend.String(),
+
+		TimeToFirstGrantNs: meanTTFG,
+		FullHealNs:         float64(heal.Nanoseconds()) / total,
+		CheckpointNs:       float64(ckpt.Nanoseconds()) / total,
+		CheckpointBytes:    bytes,
+		AllocExempt:        true,
+	}
+}
+
 // forEachWorker splits total passages over workers goroutines (the
 // remainder spread one-per-worker), runs body(w, n) on each with its
 // share, and waits — the fan-out scaffolding every keyed runner shares.
@@ -714,6 +905,9 @@ func forEachWorker(workers, total int, body func(w, n int)) {
 // always run crash-free (they exist to fill the pools); the crash mix,
 // if any, is confined to the measured pass.
 func Run(sc Scenario, strategy string, pool bool) Sample {
+	if sc.SysCrash {
+		return runSysCrashCell(sc, strategy, pool)
+	}
 	ports := sc.Ports()
 	stats := &wait.Stats{}
 	var lk locker

@@ -321,6 +321,21 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 		seed = xrand.Mix64(tableSeedClock.Add(1) * 0x9e3779b97f4a7c15)
 	}
 	backend := cfg.backend.resolve(ports)
+	t := newTableArena(shards, ports, seed, backend, cfg, opts, nil)
+	t.finishInit(cfg, false)
+	return t
+}
+
+// newTableArena builds a table's permanent state — the stripes, their
+// locks, lease pools, and key registers — without starting any background
+// machinery (no supervisor, no dispatchers). NewLockTable and RestoreTable
+// share it: the restore path needs the arena fully built but still inert
+// so it can adopt the checkpointed lease words and critical sections
+// single-threaded, before finishInit makes the table live. stripeBackend,
+// when non-nil, overrides the table-wide backend per stripe (a restored
+// arena reproduces whatever shapes the supervisor had migrated stripes to
+// by checkpoint time).
+func newTableArena(shards, ports int, seed uint64, backend ShardBackend, cfg config, opts []Option, stripeBackend []ShardBackend) *LockTable {
 	t := &LockTable{
 		shards:   make([]lockShard, shards),
 		seed:     seed,
@@ -364,14 +379,25 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 		sh.pool = NewPortLeaser(ports, shOpts...)
 		sh.key = make([]atomic.Uint64, ports)
 		sh.stats = stats
-		m := mk(backend)
+		b := backend
+		if stripeBackend != nil {
+			b = stripeBackend[i]
+		}
+		m := mk(b)
 		sh.lk.Store(&m)
-		sh.backend.Store(int32(backend))
+		sh.backend.Store(int32(b))
 		sh.gateOpen = func() bool { return !sh.gateClosed.Load() }
 		sh.leaseCond = func() bool { return sh.pool.anyFree() || sh.gateClosed.Load() }
 	}
+	return t
+}
+
+// finishInit starts a built arena's background machinery — the supervisor
+// (eager-sweeping when asked; see supervisor.eager) and the async prewarm's
+// dispatchers — and is the last step of both construction paths.
+func (t *LockTable) finishInit(cfg config, eagerSweep bool) {
 	if cfg.sup != nil {
-		t.startSupervisor(*cfg.sup)
+		t.startSupervisor(*cfg.sup, eagerSweep)
 	}
 	if cfg.asyncPrewarm > 0 {
 		// Warm every shard: the prewarm promise is per stripe (a request
@@ -385,7 +411,6 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 			t.startDispatcher(sh)
 		}
 	}
-	return t
 }
 
 // Shards returns the number of stripes.

@@ -50,6 +50,7 @@ type config struct {
 	dispSpin     int
 	asyncPrewarm int
 	backend      ShardBackend
+	backendSet   bool
 	shardStrat   func(shard int) WaitStrategy
 	sup          *SupervisorConfig
 }
@@ -136,8 +137,16 @@ func WithAsyncPrewarm(n int) Option {
 // recoverable MCS queue lock MCSMutex, or an automatic choice by port
 // count. See ShardBackend for when each wins. The default is AutoBackend.
 // New, NewTree, and NewMCS ignore the option.
+// RestoreTable treats an explicit WithShardBackend as an assertion about
+// the checkpoint being restored: the resolved shape must match the
+// checkpointed table's, or the restore errors (a silent shape change would
+// invalidate the committed baselines' comparability and the caller's
+// sizing assumptions). Omit the option to inherit the checkpoint's shape.
 func WithShardBackend(b ShardBackend) Option {
-	return func(c *config) { c.backend = b }
+	return func(c *config) {
+		c.backend = b
+		c.backendSet = true
+	}
 }
 
 // WithShardStrategy installs a per-shard wait-strategy hook on a

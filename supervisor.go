@@ -263,11 +263,21 @@ type supervisor struct {
 
 	healCursor int
 	claimBuf   []PortLease // claim-phase scratch, reused every tick
+
+	// eager makes run perform an immediate first tick before arming the
+	// interval timer. RestoreTable sets it when the restored image carried
+	// orphans: a system-wide crash leaves every in-flight tenancy of the
+	// dead incarnation orphaned at once, and a supervised restore should
+	// start healing them right away rather than sleeping a full Interval
+	// while the whole arena is stalled behind dead holders.
+	eager bool
 }
 
 // startSupervisor wires the supervisor into the table and launches its
-// loop; called from NewLockTable when WithSupervisor was given.
-func (t *LockTable) startSupervisor(cfg SupervisorConfig) {
+// loop; called from finishInit when WithSupervisor was given. With eager
+// set the loop runs its first tick immediately (the restore path's
+// sweep-before-first-grant; see supervisor.eager).
+func (t *LockTable) startSupervisor(cfg SupervisorConfig, eager bool) {
 	cfg = cfg.withDefaults(t.ports)
 	t.adaptive = cfg.AdaptivePorts
 	t.minPorts = cfg.MinPorts
@@ -284,6 +294,7 @@ func (t *LockTable) startSupervisor(cfg SupervisorConfig) {
 		streak:       make([]int, n),
 		cooldown:     make([]int, n),
 		claimBuf:     make([]PortLease, 0, t.ports),
+		eager:        eager,
 	}
 	t.sup = s
 	go s.run()
@@ -300,6 +311,9 @@ func (s *supervisor) join() {
 // run is the supervisor goroutine: tick, act, re-arm with jitter.
 func (s *supervisor) run() {
 	defer close(s.done)
+	if s.eager {
+		s.tick()
+	}
 	timer := time.NewTimer(s.jittered())
 	defer timer.Stop()
 	for {
