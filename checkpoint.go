@@ -75,9 +75,9 @@ var ErrCheckpointCorrupt = errors.New("rme: corrupt checkpoint")
 // per-stripe lock shapes and active-port bounds, every port's
 // epoch-stamped lease word, tenancy key, and critical-section ownership —
 // into a self-describing, versioned, checksummed byte image for
-// RestoreTable. The volatile tiers (parked waiters, async inboxes,
-// undelivered grants, dispatcher goroutines) are deliberately absent:
-// they model process memory, which a system-wide crash erases.
+// RestoreTable. The volatile tiers (parked waiters, async inboxes, the
+// executor's run queue and workers, undelivered grants) are deliberately
+// absent: they model process memory, which a system-wide crash erases.
 //
 // The image is a crash-consistent snapshot, not a stop-the-world one:
 // each port's word is read atomically, but ports are read at slightly
@@ -87,6 +87,18 @@ var ErrCheckpointCorrupt = errors.New("rme: corrupt checkpoint")
 // intended uses are post-mortem — the supervisor of a crashed system
 // checkpoints the arena its dead workers left behind — or quiescent
 // (periodic snapshots between traffic waves), where the image is exact.
+//
+// "Quiescent" must be judged by Quiesced(), whose answer covers the
+// whole async pipeline: a request is pending from submission until its
+// delivery holds a lease, so stripes waiting on the shared executor's
+// run queue — and batches a pool worker has swapped but not yet
+// delivered — keep the table non-quiescent. A gate that only checked the
+// per-stripe inboxes (or the lease words alone) would let a snapshot
+// race a scheduled-but-undelivered request: the image would record the
+// stripe as free while a grant was still owed, and the post-restore
+// table would serve the same key twice. Quiesced()'s pending-then-InUse
+// read order is what makes the no-work-in-flight answer exact once
+// submitters have stopped — the discipline the snapshot tests lean on.
 func (t *LockTable) Checkpoint() ([]byte, error) {
 	shards, ports := len(t.shards), t.ports
 	buf := make([]byte, 0, ckptHeaderLen+shards*(ckptStripeHeaderLen+ports*ckptPortLen)+4)

@@ -157,22 +157,27 @@
 // LockTable offers two ways out:
 //
 //   - LockAsync(key) enqueues and returns a channel; LockAsyncFunc takes
-//     a callback. A per-shard dispatcher — one goroutine per stripe,
-//     parked on the wait engine when idle — works through the stripe's
-//     requests in FIFO order and completes each with a Grant, so ten
-//     thousand in-flight requests cost ten thousand queue nodes, not ten
-//     thousand goroutine stacks. The grant-ownership rule: exactly one
-//     party owns a Grant at a time (dispatcher, then channel or callback,
-//     then receiver), and the owner must settle it exactly once, with
-//     Grant.Unlock or Grant.Abandon. A requester that dies before
-//     receiving leaves the grant parked in its channel, still holding the
-//     stripe — its supervisor drains the channel and abandons the grant,
-//     which routes the tenancy into the ordinary orphan/reclaim
-//     machinery. A callback that dies with a Crash panic is orphaned in
-//     place and the dispatcher survives it; callbacks must settle their
-//     grant before returning (only the channel variant may move a grant
-//     between goroutines — a hand-off out of a callback would let a
-//     later crash in the callback orphan the recipient's live tenancy).
+//     a callback. A shared dispatcher runtime — a bounded pool of
+//     WithDispatcherPool(n) workers pulling runnable stripes off a
+//     lock-free run queue, parked on the wait engine when the queue is
+//     empty — works through each stripe's requests in FIFO order (at
+//     most one worker engages a stripe at a time) and completes each
+//     with a Grant, so ten thousand in-flight requests cost ten thousand
+//     queue nodes, not ten thousand goroutine stacks, and ten thousand
+//     stripes cost n dispatcher goroutines, not ten thousand
+//     (TableStats.Dispatcher reports the pool's gauges). The
+//     grant-ownership rule: exactly one party owns a Grant at a time
+//     (the engaged worker, then channel or callback, then receiver), and
+//     the owner must settle it exactly once, with Grant.Unlock or
+//     Grant.Abandon. A requester that dies before receiving leaves the
+//     grant parked in its channel, still holding the stripe — its
+//     supervisor drains the channel and abandons the grant, which routes
+//     the tenancy into the ordinary orphan/reclaim machinery. A callback
+//     that dies with a Crash panic is orphaned in place and the pool
+//     survives it; callbacks must settle their grant before returning
+//     (only the channel variant may move a grant between goroutines — a
+//     hand-off out of a callback would let a later crash in the callback
+//     orphan the recipient's live tenancy).
 //   - LockBatch / DoBatch acquire many keys at once: keys are sorted by
 //     ShardIndex (so concurrent batches cannot ABBA-deadlock) and each
 //     same-stripe run is covered by a single tenancy — one lease scan,
@@ -187,10 +192,14 @@
 // (or call LockBatch) while holding a key of the same table outside the
 // documented ascending-ShardIndex discipline, and never block a grant
 // callback on another grant of its own stripe — the goroutine it would
-// wait for is the one running it. Crash-free async and batch passages
-// allocate nothing once pools are warm (amortized over the batch for
-// DoBatch); WithDispatcherSpin and WithAsyncPrewarm tune the dispatcher's
-// idle behavior and first-request allocations.
+// wait for is one of the pool's n, and with a small pool any blocking
+// inside a callback eats delivery capacity table-wide (see the
+// pool-liveness note in locktable_async.go). Crash-free async and batch
+// passages allocate nothing once pools are warm (amortized over the
+// batch for DoBatch); WithDispatcherPool bounds the worker pool,
+// WithDispatcherSpin sizes each worker's idle spin window, and
+// WithAsyncPrewarm warms the request free lists and spawns the pool
+// eagerly for first-request allocation budgets.
 //
 // # Deadlines, TryLock, and aborts
 //

@@ -48,6 +48,25 @@ func (t *LockTable) SetAdaptive(on bool, slack int) {
 // while a migration drain is in flight" without sleeping and hoping.
 func (t *LockTable) GateClosed(shard int) bool { return t.shards[shard].gateClosed.Load() }
 
+// SetGateClosed force-closes (or reopens) one stripe's migration barrier
+// without running a migration — how the quiesce regression tests pin "a
+// delivery is blocked at the gate, holding no lease yet" as a stable
+// state instead of a microsecond window inside migrateShard. Reopening
+// broadcasts both parked populations, exactly as reopenGate does.
+func (t *LockTable) SetGateClosed(shard int, closed bool) {
+	sh := &t.shards[shard]
+	sh.gateClosed.Store(closed)
+	if !closed {
+		sh.gate.Broadcast()
+		sh.pool.chain.Broadcast()
+	}
+}
+
+// GateWaiters reports how many entrants are parked on one stripe's
+// migration gate — the deterministic "the delivery has reached the
+// barrier" probe the quiesce regression test polls.
+func (t *LockTable) GateWaiters(shard int) int { return t.shards[shard].gate.Waiters() }
+
 // PortEpoch reports one port's current lease-word fencing epoch, so the
 // restore tests can assert every epoch advanced strictly across the
 // process boundary.

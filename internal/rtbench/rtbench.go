@@ -146,6 +146,24 @@ type Scenario struct {
 	// live cancellable context, so the whole cancel plumbing is on the
 	// measured path. Keyed scenarios only, crash-free only.
 	AbortEvery uint64
+	// DispatcherPool, when > 0, pins the shared async executor's worker
+	// bound (WithDispatcherPool) instead of the GOMAXPROCS default — the
+	// knob the many-stripe async cell uses to demonstrate that dispatcher
+	// cost is a property of the pool, not the stripe count. Keyed async
+	// scenarios only.
+	DispatcherPool int
+	// AllocExempt marks every cell of the scenario outside the allocs/op
+	// gate (the per-sample Sample.AllocExempt flag, until now set only by
+	// the syscrash rounds). The many-stripe cell needs it for the same
+	// construction-not-leak reason: a 512×16 arena has 8192 (stripe, port)
+	// wait-node slots whose pools fill only from retired passages, so
+	// first-touch qnode builds trickle through the whole measured pass as
+	// each stripe's per-port high-water mark ratchets up — a decaying
+	// one-time cost proportional to arena size, schedule-dependent in
+	// exactly the way SkipUnpooled's doc describes, not a per-op leak
+	// (the profile shows zero steady-state allocation sites). The gate
+	// still pins the cell's ns/op.
+	AllocExempt bool
 	// SysCrash replaces the passage loop with full-table crash rounds:
 	// each measured iteration builds an arena, parks one live tenancy per
 	// worker inside its critical section, kills the whole population at
@@ -274,6 +292,32 @@ func Scenarios() []Scenario {
 			Iters:  60_000,
 			Keys:   1 << 20,
 			Shards: 32, ShardPorts: 4,
+		},
+		{
+			// The shared-executor scaling cell (BENCH_keyed_pooled.json):
+			// the keyed_async pipeline stretched over a 512-stripe × 16-port
+			// arena with the dispatcher pool pinned to 8 workers. Under the
+			// old one-goroutine-per-stripe dispatcher this shape cost 512
+			// parked goroutines before the first request moved; the cell's
+			// Goroutines sample records the pooled footprint (workers + 8
+			// dispatchers + housekeeping). Alloc-exempt — see the
+			// Scenario.AllocExempt doc: the arena's 8192 wait-node slots
+			// fill lazily, so first-touch builds trickle through the run —
+			// but the executor itself contributes nothing to that figure:
+			// scheduling a stripe onto the run queue allocates zero, which
+			// the keyed_async gate pins at 0.000 on every backend and the
+			// allocation profile of this very shape confirms (every
+			// steady-state site is construction). Zipf keeps a hot
+			// minority of stripes runnable at once, so the run queue and the
+			// runnext locality slot both see traffic rather than degenerating
+			// into one stripe bouncing through one worker.
+			Name: "keyed_manyshards", File: "keyed_pooled", Keyed: true, Async: true, Zipf: true,
+			Ports:  func() int { return 32 },
+			Iters:  40_000,
+			Keys:   1 << 20,
+			Shards: 512, ShardPorts: 16,
+			DispatcherPool: 8,
+			AllocExempt:    true,
 		},
 		{
 			// The backend-comparison pair (BENCH_keyed_tree.json):
@@ -503,6 +547,14 @@ type Sample struct {
 	Async   bool   `json:"async,omitempty"`
 	Batch   int    `json:"batch,omitempty"`
 	Backend string `json:"backend,omitempty"`
+	// Goroutines, async cells only, is runtime.NumGoroutine() sampled
+	// right after the measured pass with the table still open: workers +
+	// dispatcher pool + runtime housekeeping. The committed
+	// many-stripe baseline pins the shared-executor claim — a 512-stripe
+	// arena shows a pool-sized figure, not a stripe-sized one. A
+	// point-in-time gauge, so the -compare gate treats it as
+	// informational rather than a hard ratio.
+	Goroutines int `json:"goroutines,omitempty"`
 	// ShedsPerOp records cancelled/expired acquisitions per passage
 	// (ShardStats.Aborts + Timeouts as a warm-to-measured delta) — the
 	// abort cells' self-description, ~1/AbortEvery by construction.
@@ -925,6 +977,19 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 			rme.WithWaitStrategy(strategyByName(strategy)), rme.WithNodePool(pool),
 			rme.WithTableSeed(0x5eed), rme.WithShardBackend(sc.Backend),
 		}
+		if sc.DispatcherPool > 0 {
+			opts = append(opts, rme.WithDispatcherPool(sc.DispatcherPool))
+		}
+		if sc.Async {
+			// Pre-build every shard's request free list up to the worker
+			// count — the per-shard concurrency ceiling, since each worker
+			// holds one request in flight. Without this a many-stripe cell
+			// trickles first-touch node builds through the whole measured
+			// pass (each stripe's free list ratchets up to its historical
+			// concurrency high-water mark), which is construction cost, not
+			// the steady-state pipeline the async cells price.
+			opts = append(opts, rme.WithAsyncPrewarm(ports))
+		}
 		if sc.Supervised {
 			// Aggressive on purpose: benchmark cells live milliseconds, so
 			// the policy must observe, decide, and migrate within the
@@ -1031,6 +1096,13 @@ func Run(sc Scenario, strategy string, pool bool) Sample {
 		s.Async = sc.Async
 		s.Batch = sc.Batch
 		s.Backend = tbl.Backend().String()
+		if sc.Async {
+			// Sampled before Close so the dispatcher pool is still alive:
+			// the figure a 512-stripe arena commits is pool-sized, which is
+			// the shared-runtime claim in one number.
+			s.Goroutines = runtime.NumGoroutine()
+		}
+		s.AllocExempt = sc.AllocExempt
 		full := tbl.Stats()
 		if sc.Supervised {
 			s.Supervised = true

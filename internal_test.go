@@ -204,11 +204,11 @@ func TestMaximalQPathsShapes(t *testing.T) {
 
 // TestAsyncPrewarmPerShard pins WithAsyncPrewarm's per-shard guarantee:
 // every shard's free list gets the full n request nodes (each with its
-// reusable cap-1 grant channel) and every shard's dispatcher is started
-// eagerly, so the submit side of a stripe's very first request allocates
-// nothing. The pre-fix round-robin left shards with no nodes whenever
-// n < Shards(), silently breaking the first-request claim on the
-// unwarmed stripes.
+// reusable cap-1 grant channel) and the dispatcher pool's full worker
+// complement is spawned eagerly, so the submit side of a stripe's very
+// first request allocates nothing. The pre-fix round-robin left shards
+// with no nodes whenever n < Shards(), silently breaking the
+// first-request claim on the unwarmed stripes.
 func TestAsyncPrewarmPerShard(t *testing.T) {
 	const shards, n = 8, 3
 	tbl := NewLockTable(shards, 2, WithAsyncPrewarm(n), WithNodePool(true))
@@ -228,13 +228,13 @@ func TestAsyncPrewarmPerShard(t *testing.T) {
 		if count != n {
 			t.Fatalf("shard %d prewarmed %d request nodes, want %d on every shard", i, count, n)
 		}
-		if !sh.disp.started.Load() {
-			t.Fatalf("shard %d dispatcher not started eagerly by the prewarm", i)
-		}
 	}
-	// Let the eagerly-started dispatchers reach their parks (the first park
-	// lazily creates each cell's reusable channel) so the measurement below
-	// sees only the request-node path.
+	if got, want := tbl.exec.spawned.Load(), tbl.exec.bound; got != want {
+		t.Fatalf("prewarm spawned %d pool workers, want the full bound %d", got, want)
+	}
+	// Let the eagerly-spawned workers reach their idle parks (the first
+	// park lazily creates each chain cell's reusable channel) so the
+	// measurement below sees only the request-node path.
 	time.Sleep(20 * time.Millisecond)
 	if avg := testing.AllocsPerRun(50, func() {
 		for i := range tbl.shards {

@@ -74,12 +74,13 @@ type LockTable struct {
 	ports   int
 	backend ShardBackend // resolved to a concrete shape, never Auto
 
-	// strat and dispSpin configure the async dispatchers (see
-	// locktable_async.go): the wait strategy their idle parks and lease
-	// waits run under, and how many scheduler yields a dispatcher burns
-	// polling its inbox before parking.
-	strat    wait.Strategy
-	dispSpin int
+	// strat configures the stripes' lease and gate waits; exec is the
+	// shared dispatcher runtime the async tier runs on — a bounded pool
+	// of workers multiplexed over every stripe's delivery work (see
+	// dispatch.go; WithDispatcherPool sizes it, WithDispatcherSpin sizes
+	// each worker's spin window before an idle park).
+	strat wait.Strategy
+	exec  executor
 
 	// freeMu guards the recycled Batch free list (request nodes recycle
 	// through per-shard lists — see lockShard — so the async hot path
@@ -280,8 +281,10 @@ type lockShard struct {
 	// nothing, it declines to start.
 	aborts   atomic.Uint64
 	timeouts atomic.Uint64
-	// disp is the stripe's async acquisition dispatcher (lazily started;
-	// see locktable_async.go); reqMu/reqFree are its recycled request
+	// disp is the stripe's async service state — the request inbox plus
+	// the runnable flag word the shared executor schedules the stripe by
+	// (see locktable_async.go and dispatch.go; the stripe owns no
+	// dispatcher goroutine). reqMu/reqFree are its recycled request
 	// nodes, per shard so independent stripes' pipelines do not contend
 	// on one table-wide free list.
 	disp    dispatcher
@@ -337,13 +340,13 @@ func NewLockTable(shards, ports int, opts ...Option) *LockTable {
 // by checkpoint time).
 func newTableArena(shards, ports int, seed uint64, backend ShardBackend, cfg config, opts []Option, stripeBackend []ShardBackend) *LockTable {
 	t := &LockTable{
-		shards:   make([]lockShard, shards),
-		seed:     seed,
-		ports:    ports,
-		backend:  backend,
-		strat:    cfg.strat,
-		dispSpin: cfg.dispSpin,
+		shards:  make([]lockShard, shards),
+		seed:    seed,
+		ports:   ports,
+		backend: backend,
+		strat:   cfg.strat,
 	}
+	t.exec.init(t, cfg.dispatcherPool(), cfg.dispSpin)
 	for i := range t.shards {
 		// Resolve the shard's effective strategy (table-wide, or the
 		// WithShardStrategy override), then wrap it with the stripe's
@@ -393,23 +396,25 @@ func newTableArena(shards, ports int, seed uint64, backend ShardBackend, cfg con
 }
 
 // finishInit starts a built arena's background machinery — the supervisor
-// (eager-sweeping when asked; see supervisor.eager) and the async prewarm's
-// dispatchers — and is the last step of both construction paths.
+// (eager-sweeping when asked; see supervisor.eager) and the async
+// prewarm's request nodes and worker pool — and is the last step of both
+// construction paths.
 func (t *LockTable) finishInit(cfg config, eagerSweep bool) {
 	if cfg.sup != nil {
 		t.startSupervisor(*cfg.sup, eagerSweep)
 	}
 	if cfg.asyncPrewarm > 0 {
 		// Warm every shard: the prewarm promise is per stripe (a request
-		// node free list is per shard), so each shard gets the full count
-		// and its dispatcher is started eagerly — see WithAsyncPrewarm.
+		// node free list is per shard), so each shard gets the full count;
+		// the executor's pool is spawned eagerly so the submit side never
+		// pays a worker spawn either — see WithAsyncPrewarm.
 		for i := range t.shards {
 			sh := &t.shards[i]
 			for j := 0; j < cfg.asyncPrewarm; j++ {
 				sh.putReq(&asyncReq{ch: make(chan Grant, 1)})
 			}
-			t.startDispatcher(sh)
 		}
+		t.exec.spawnAll()
 	}
 }
 
@@ -450,8 +455,11 @@ type ShardStats struct {
 	// Orphans counts ports whose lessee died and whose recovery has not
 	// finished (the per-stripe slice of LockTable.Orphans).
 	Orphans int
-	// InboxDepth is the async dispatcher's current backlog: requests
-	// submitted but not yet swapped into a delivery batch.
+	// InboxDepth is the stripe's pending async backlog: requests
+	// submitted whose delivery has not yet acquired its tenancy (or
+	// shed). A request leaves the count only once it holds a lease, so
+	// InboxDepth and the lease-pool gauges overlap rather than leaving a
+	// window — the invariant Quiesced's reasoning rests on.
 	InboxDepth int
 	// Backend is the lock shape currently behind the stripe — under a
 	// supervisor with migration enabled, stripes diverge from the
@@ -479,10 +487,12 @@ func (s ShardStats) WakesPerOp() float64 {
 // TableStats is the table-wide observability snapshot: one ShardStats per
 // stripe, in shard order, plus the supervisor's own counters (all zero on
 // a table without WithSupervisor, except Steals which the work-stealing
-// fallback can also drive).
+// fallback can also drive) and the shared dispatcher runtime's pool
+// gauges.
 type TableStats struct {
 	Shards     []ShardStats
 	Supervisor SupervisorStats
+	Dispatcher DispatcherStats
 }
 
 // Total aggregates every stripe's counters into one ShardStats.
@@ -539,6 +549,7 @@ func (t *LockTable) Stats() TableStats {
 		s.ActivePorts = sh.pool.Active()
 	}
 	ts.Supervisor = t.supc.snapshot()
+	ts.Dispatcher = t.exec.stats()
 	return ts
 }
 
@@ -963,23 +974,30 @@ func (t *LockTable) InUse() int {
 
 // Quiesced reports whether the table has no work in flight: every port of
 // every shard free — no live tenancies, no orphans awaiting recovery —
-// and every async dispatcher's inbox empty. The inbox half is load-
-// bearing: a queued-but-undispatched request holds no lease yet but will
-// take one the moment its dispatcher drains, so a table with a non-empty
-// inbox has not quiesced even if InUse() is momentarily zero (the
-// regression that motivated the check — and the condition the migration
-// barrier's drain relies on). Like all inspection methods it is a racy
-// snapshot; it is exact once submitters have stopped.
+// and no async request pending anywhere in the shared dispatcher
+// runtime. The pending half is load-bearing and covers the whole async
+// pipeline, not just unread inboxes: a request counts as pending from
+// its submission until its delivery holds a lease, so a stripe sitting
+// on the executor's run queue, or a batch a worker has swapped but not
+// yet delivered (it may be parked at a migration gate, holding nothing),
+// keeps the table non-quiescent — the two regressions that motivated the
+// check (the PR 8 inbox-depth fix and TestDispatchQuiescedPendingDelivery),
+// and the condition the migration barrier's drain relies on.
+//
+// Like all inspection methods it is a racy snapshot; it is exact once
+// submitters have stopped. That exactness needs the reads ordered
+// pending-then-InUse: a request's pending count is released only after
+// its lease is acquired, so reading all depths as zero first proves
+// every accepted request has reached a lease, and a zero InUse
+// afterwards proves those leases have since settled. The reverse order
+// would let an in-flight delivery slip between the two reads.
 func (t *LockTable) Quiesced() bool {
-	if t.InUse() != 0 {
-		return false
-	}
 	for i := range t.shards {
 		if t.shards[i].disp.depth.Load() != 0 {
 			return false
 		}
 	}
-	return true
+	return t.InUse() == 0
 }
 
 // Reclaim is ReclaimWith(nil).

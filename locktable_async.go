@@ -4,26 +4,50 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
-
-	"github.com/rmelib/rme/internal/wait"
 )
 
 // This file is the asynchronous half of the keyed lock service: completion
-// -based acquisition (LockAsync / LockAsyncFunc) through a per-shard
-// dispatcher, so callers enqueue and move on instead of parking a
+// -based acquisition (LockAsync / LockAsyncFunc) through a shared
+// dispatcher runtime, so callers enqueue and move on instead of parking a
 // goroutine for the whole queue wait.
 //
 // # Why a dispatcher
 //
 // The synchronous Lock burns one blocked goroutine per waiting key — fine
 // for tens of waiters, hostile at service scale where a hot stripe can
-// have thousands of requests in flight. The dispatcher inverts that: each
-// stripe has (at most) one goroutine engaged with the lock protocol at a
-// time, working through a lock-free inbox of requests in FIFO order and
-// completing each by handing its Grant to the requester. The thousands of
-// in-flight requests cost one inbox node each, not one goroutine stack
-// each; the stripe's queue wait is paid by the dispatcher alone, parked on
-// the same wait engine as every other wait in the stack.
+// have thousands of requests in flight. The dispatcher model inverts
+// that: each stripe has (at most) one goroutine engaged with the lock
+// protocol at a time, working through a lock-free inbox of requests in
+// FIFO order and completing each by handing its Grant to the requester.
+// The thousands of in-flight requests cost one inbox node each, not one
+// goroutine stack each; the stripe's queue wait is paid by its dispatcher
+// alone, parked on the same wait engine as every other wait in the stack.
+//
+// Who that dispatcher *is* changed with the shared runtime (dispatch.go).
+// Originally every stripe owned a lazily-started dispatcher goroutine —
+// one parked goroutine per stripe that had ever seen a LockAsync, which
+// is exactly the footprint-tracks-capacity cost this library exists to
+// avoid, and hostile at service scale where a table holds thousands of
+// stripes. Now a bounded pool of WithDispatcherPool(n) workers serves
+// every stripe: a submission marks its stripe runnable on a shared run
+// queue, and whichever worker picks the stripe up becomes its dispatcher
+// for one batch. The engagement protocol (dispatch.go's run-state word)
+// preserves the at-most-one-dispatcher-per-stripe invariant, so every
+// guarantee below — FIFO grant order, Grant ownership, crash absorption —
+// is unchanged; goroutine cost now tracks actual delivery concurrency,
+// min(n, active stripes), not the stripe count.
+//
+// The pool bound buys that footprint with one new liveness caveat. A
+// worker delivering a grant blocks until the stripe's current holder
+// settles, and a blocked worker occupies a pool slot; a workload whose
+// grant-holders wait, in turn, for deliveries on *other* stripes can
+// therefore exhaust the pool where per-stripe dispatchers could not
+// (n cross-stripe dependency chains need n+1 workers to untangle). The
+// multi-key rules already forbid the unordered hold-and-wait patterns
+// that make such chains unbounded — see LockAsync's striping notes —
+// but services that intentionally park many unreceived grants while
+// issuing more async traffic should size WithDispatcherPool to that
+// concurrency rather than to GOMAXPROCS.
 //
 // # Grant ownership
 //
@@ -122,39 +146,35 @@ type asyncReq struct {
 	cch chan Grant
 }
 
-// dispatcher is one stripe's async service state.
+// dispatcher is one stripe's async service state: the request inbox plus
+// the runnable flag word the shared executor schedules the stripe by.
+// The stripe owns no goroutine — delivery is done by whichever pool
+// worker engages the stripe (see dispatch.go).
 type dispatcher struct {
 	// inbox is a lock-free LIFO of submitted requests (reversed to FIFO by
-	// the dispatcher when it drains).
+	// the engaged worker when it drains).
 	inbox atomic.Pointer[asyncReq]
 	// deliverMu serializes every swap-and-deliver batch of the stripe —
-	// the dispatcher's normal loop, its final drain, and any close-race
-	// drainer goroutines (see drainClosed). Because each batch is swapped
-	// and fully delivered under the mutex, batches are delivered in the
-	// temporal order of their swaps and requests in FIFO order within
-	// each batch, which is what makes LockAsync's per-submitter grant
-	// ordering hold unconditionally, Close races included. Uncontended
-	// (the dispatcher is alone) outside those races, so the hot path pays
-	// one uncontended lock per batch.
+	// the engaged worker's batches, exiting workers' final drains, and any
+	// close-race drainer goroutines (see drainClosed). Because each batch
+	// is swapped and fully delivered under the mutex, batches are
+	// delivered in the temporal order of their swaps and requests in FIFO
+	// order within each batch, which is what makes LockAsync's
+	// per-submitter grant ordering hold unconditionally, Close races
+	// included. Uncontended (the engagement protocol admits one worker
+	// per stripe) outside those races, so the hot path pays one
+	// uncontended lock per batch.
 	deliverMu sync.Mutex
-	// cell is where the dispatcher parks between request bursts. Idle
-	// parking always uses a spin-then-park strategy — never the table's
-	// worker-side strategy — because an idle dispatcher must cost a
-	// parked goroutine, not a busy-yield loop, no matter how the workers
-	// choose to wait; WithDispatcherSpin sets the spin budget in front of
-	// the park.
-	cell      wait.Cell
-	parkStrat wait.Strategy
-	// started flips once, when the goroutine is spawned — by the stripe's
-	// first request, or eagerly at construction under WithAsyncPrewarm.
-	started atomic.Bool
-	// depth tracks the inbox backlog — submissions not yet swapped into a
-	// delivery batch — for LockTable.Stats; the racy inbox list itself is
-	// never walked.
+	// runState is the stripe's scheduling word — idle / queued / active /
+	// active-dirty — the executor's at-most-once run-queue admission
+	// protocol; see dispatch.go.
+	runState atomic.Int32
+	// depth tracks the stripe's pending async requests: submissions whose
+	// delivery has not yet acquired a lease (or shed). Decremented only
+	// once the tenancy is held — not at batch-swap time — so a request
+	// is visible through depth or InUse at every instant; Quiesced's
+	// correctness depends on that overlap (see LockTable.Quiesced).
 	depth atomic.Int64
-	// pollCond is the park condition, bound once at start so idle parking
-	// does not allocate a closure per episode.
-	pollCond func() bool
 }
 
 // LockAsync enqueues an acquisition of key and returns immediately; the
@@ -251,10 +271,12 @@ func (t *LockTable) LockAsyncContextString(ctx context.Context, key string) <-ch
 
 // LockAsyncFunc enqueues an acquisition of key and returns immediately;
 // fn is called with the Grant once the stripe is handed over. fn runs on
-// the stripe's dispatcher goroutine, so it serializes the stripe's grant
-// pipeline: keep it short, and never block it on another grant of the
-// same stripe (self-deadlock: the dispatcher that would deliver that
-// grant is the goroutine being blocked).
+// the pool worker engaged with the stripe, so it serializes the stripe's
+// grant pipeline — and occupies one of the table's WithDispatcherPool
+// slots for its duration: keep it short, and never block it on another
+// grant of the same stripe (self-deadlock: the worker that would deliver
+// that grant is the goroutine being blocked; grants on other stripes are
+// also suspect — see the pool-liveness note at the top of this file).
 //
 // fn owns the grant and must settle it (Unlock/Abandon) before
 // returning. If fn panics with an injected Crash while still owning it,
@@ -280,23 +302,27 @@ func (t *LockTable) LockAsyncFunc(key uint64, fn func(Grant)) {
 	t.submit(sh, r)
 }
 
-// submit pushes r onto its stripe's inbox and pokes the dispatcher.
+// submit pushes r onto its stripe's inbox and marks the stripe runnable
+// on the shared executor (which wakes a parked worker, or spawns one
+// while the pool is under its bound — the spawn is the submit path's
+// only possible allocation, and WithAsyncPrewarm's eager pool removes
+// even that).
 //
 // The closed checks bracket the push, and both are load-bearing. The one
 // before is the intake stop: a submission that observes closed panics and
 // enqueues nothing. The one after closes the stranding race with Close():
 // a submission whose first check passed while Close ran may have pushed
-// onto an inbox the dispatcher has already drained for the last time. If
-// that happened, this submitter is guaranteed to observe closed here (the
-// dispatcher's final drain starts only after Close's store, so a push the
-// drain missed must follow the store — and this load follows the push),
-// and it spawns a transient drainer that completes the stranded requests.
-// The drainer must be its own goroutine, not an inline call: delivery
-// blocks until the stripe's current holder releases, and the current
-// holder can be this very submitter's earlier grant, parked in a channel
-// it cannot receive from while stuck inside submit. All drainers and the
-// dispatcher may drain concurrently; the inbox Swap hands each request to
-// exactly one of them.
+// onto an inbox the pool has already drained for the last time. If that
+// happened, this submitter is guaranteed to observe closed here (every
+// exiting worker's final drain starts only after Close's store, so a push
+// the drains missed must follow the store — and this load follows the
+// push), and it spawns a transient drainer that completes the stranded
+// requests. The drainer must be its own goroutine, not an inline call:
+// delivery blocks until the stripe's current holder releases, and the
+// current holder can be this very submitter's earlier grant, parked in a
+// channel it cannot receive from while stuck inside submit. All drainers
+// and pool workers may drain concurrently; the inbox Swap hands each
+// request to exactly one of them.
 func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
 	if t.closed.Load() {
 		panic("rme: async acquisition on a closed LockTable")
@@ -310,61 +336,50 @@ func (t *LockTable) submit(sh *lockShard, r *asyncReq) {
 		}
 	}
 	d.depth.Add(1)
-	t.startDispatcher(sh)
-	d.cell.Wake()
+	t.exec.schedule(sh)
 	if t.closed.Load() {
 		go t.drainClosed(sh)
 	}
 }
 
-// startDispatcher spawns sh's dispatcher goroutine if it has not started
-// yet. Lazily invoked by the first submission on the stripe; invoked
-// eagerly at construction when WithAsyncPrewarm asked for warm first
-// requests (the start is the submit path's only allocation).
-func (t *LockTable) startDispatcher(sh *lockShard) {
-	d := &sh.disp
-	if d.started.Load() || !d.started.CompareAndSwap(false, true) {
-		return
-	}
-	d.pollCond = func() bool { return d.inbox.Load() != nil || t.closed.Load() }
-	d.parkStrat = wait.SpinThenPark(t.dispSpin)
-	go t.dispatch(sh)
-}
-
 // drainClosed empties sh's inbox and completes every request found — the
-// closed-table settlement path, run by the dispatcher as its final drain
-// after observing closed and on a transient goroutine spawned by any
-// submitter whose post-push re-check observed closed (see submit).
+// closed-table settlement path, run by every exiting worker as its final
+// drain after observing closed and on a transient goroutine spawned by
+// any submitter whose post-push re-check observed closed (see submit).
 // Requests are delivered, not dropped: they passed the intake check
 // before Close became visible to them, and an accepted request must end
 // in a grant. Delivery goes through the same mutex-serialized batches as
-// the dispatcher's own loop, so the per-submitter FIFO grant order holds
-// even for the requests that raced Close.
+// the workers' own engagements, so the per-submitter FIFO grant order
+// holds even for the requests that raced Close.
 func (t *LockTable) drainClosed(sh *lockShard) {
 	for t.deliverBatch(sh) {
 	}
 }
 
-// Close shuts the table's async dispatchers down: subsequent LockAsync /
-// LockAsyncFunc / batch calls panic, dispatchers drain their inboxes and
-// exit. Synchronous Lock/Unlock and reclaim sweeps are unaffected, and
-// outstanding grants stay valid — Close stops intake, it does not revoke
-// tenancies. Close is idempotent and safe to race with in-flight async
-// submissions: a submission concurrent with Close either panics (it
-// observed the closed table) or is completed normally — its grant is
-// delivered by the dispatcher's final drain, or failing that by a
-// transient drainer goroutine the submitter spawns on its way out, which
-// in that narrow window delivers grants (and runs LockAsyncFunc
-// callbacks) in place of the dispatcher. No accepted request is ever
-// stranded, and the per-submitter FIFO grant order survives the race
-// (all deliveries of a stripe are serialized through one mutex).
+// Close shuts the table's async tier down: subsequent LockAsync /
+// LockAsyncFunc / batch calls panic, the executor's workers drain the
+// stripes' inboxes and exit. Synchronous Lock/Unlock and reclaim sweeps
+// are unaffected, and outstanding grants stay valid — Close stops
+// intake, it does not revoke tenancies. Close is idempotent and safe to
+// race with in-flight async submissions: a submission concurrent with
+// Close either panics (it observed the closed table) or is completed
+// normally — its grant is delivered by an exiting worker's final drain,
+// or failing that by a transient drainer goroutine the submitter spawns
+// on its way out, which in that narrow window delivers grants (and runs
+// LockAsyncFunc callbacks) in place of the pool. No accepted request is
+// ever stranded, and the per-submitter FIFO grant order survives the
+// race (all deliveries of a stripe are serialized through one mutex).
 //
-// Close does not interrupt in-flight deliveries: a dispatcher exits
-// after completing the requests it already holds, so its goroutine only
-// winds down if the stripe's outstanding tenancies eventually settle (or
-// a sweep reclaims their orphans). That is the same liveness assumption
-// every waiter in the table lives under — a stripe whose holders neither
-// release nor get reclaimed stalls synchronous callers just the same.
+// Close does not interrupt in-flight deliveries, and does not block on
+// them either: it broadcasts the pool's idle chain and returns, and each
+// worker exits once the run queue is empty, after completing the
+// requests it already holds and running one last drain pass. A worker's
+// goroutine therefore only winds down if the stripes' outstanding
+// tenancies eventually settle (or a sweep reclaims their orphans) — the
+// same liveness assumption every waiter in the table lives under. Close
+// must not wait for that itself: the holder a worker is blocked behind
+// can be a grant parked in Close's caller's own hands (see
+// TestLockTableClose's close-then-settle pattern).
 func (t *LockTable) Close() {
 	if t.closed.Swap(true) {
 		return
@@ -375,38 +390,9 @@ func (t *LockTable) Close() {
 	if t.sup != nil {
 		t.sup.join()
 	}
-	for i := range t.shards {
-		t.shards[i].disp.cell.Wake()
-	}
-}
-
-// dispatch is one stripe's dispatcher loop: drain the inbox in FIFO
-// order, acquire each request's tenancy, deliver its grant. The goroutine
-// parks on the dispatcher cell when idle and exits only on Close.
-func (t *LockTable) dispatch(sh *lockShard) {
-	d := &sh.disp
-	for {
-		if t.deliverBatch(sh) {
-			continue
-		}
-		if t.closed.Load() {
-			// Final drain before exiting: a submission that passed its
-			// closed check concurrently with Close may have pushed after
-			// the empty swap above, and nothing would ever deliver it once
-			// this goroutine is gone. Requests pushed after the final
-			// drain's last swap are covered the other way — their
-			// submitters' post-push re-check is then guaranteed to observe
-			// closed and rescue them (see submit).
-			t.drainClosed(sh)
-			return
-		}
-		// Spin-then-park: a loaded pipeline usually has the next
-		// burst's wake in flight, and catching it in the spin phase
-		// skips the park/unpark round trip (WithDispatcherSpin sizes
-		// that budget); a genuinely idle stripe ends up parked on the
-		// cell's channel, costing nothing.
-		d.cell.Await(d.parkStrat, d.pollCond)
-	}
+	// Wake the whole pool: parked workers re-check their condition (which
+	// includes closed), run their final drains, and exit.
+	t.exec.idle.Broadcast()
 }
 
 // deliverBatch swaps one inbox batch and delivers every request in it,
@@ -424,17 +410,19 @@ func (t *LockTable) deliverBatch(sh *lockShard) bool {
 		return false
 	}
 	// The inbox is push-LIFO; reverse the drained burst to FIFO so
-	// grants go out in submission order.
+	// grants go out in submission order. The stripe's depth is NOT
+	// decremented here: a swapped-but-undelivered request still owes a
+	// grant while holding no lease, and decrementing at swap time opened
+	// exactly the false-quiescent window TestDispatchQuiescedPendingDelivery
+	// pins. Each request leaves the count inside deliver, once its
+	// tenancy is held (or it sheds).
 	var fifo *asyncReq
-	n := int64(0)
 	for head != nil {
 		next := head.next
 		head.next = fifo
 		fifo = head
 		head = next
-		n++
 	}
-	d.depth.Add(-n)
 	for fifo != nil {
 		r := fifo
 		fifo = r.next
@@ -456,6 +444,7 @@ func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
 	if r.ctx != nil {
 		if err := r.ctx.Err(); err != nil {
 			sh.noteShed(err)
+			sh.disp.depth.Add(-1)
 			close(r.cch)
 			r.cch = nil
 			r.ctx = nil
@@ -467,9 +456,11 @@ func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
 	for {
 		crashed := crashes(func() {
 			// The gated table acquisition, not pool.Acquire directly: a
-			// dispatcher mid-migration parks on the stripe's gate like any
-			// other entrant (it holds deliverMu, which the migration never
-			// takes, so parking here cannot deadlock the barrier).
+			// worker delivering mid-migration parks on the stripe's gate
+			// like any other entrant (it holds deliverMu, which the
+			// migration never takes, so parking here cannot deadlock the
+			// barrier — though it does occupy a pool slot for the drain's
+			// duration; see the liveness note in the file comment).
 			l = t.acquireLease(sh)
 			sh.key[l.Port].Store(r.key)
 			sh.lockPort(l)
@@ -479,6 +470,10 @@ func (t *LockTable) deliver(sh *lockShard, r *asyncReq) {
 		}
 		t.Reclaim()
 	}
+	// The tenancy is held: the request's pending count hands over to
+	// InUse. This ordering (lease first, decrement second) is what keeps
+	// the request visible to Quiesced at every instant.
+	sh.disp.depth.Add(-1)
 	g := Grant{sh: sh, key: r.key, l: l, req: r}
 	if fn := r.fn; fn != nil {
 		// Callback delivery: the request node is done (its channel was

@@ -1,6 +1,10 @@
 package rme
 
-import "github.com/rmelib/rme/internal/wait"
+import (
+	"runtime"
+
+	"github.com/rmelib/rme/internal/wait"
+)
 
 // WaitStrategy selects how a waiter in the lock stack passes the time
 // between opening its wait episode and being woken: every busy-wait in the
@@ -48,11 +52,30 @@ type config struct {
 	seed         uint64
 	seedSet      bool
 	dispSpin     int
+	dispPool     int
 	asyncPrewarm int
 	backend      ShardBackend
 	backendSet   bool
 	shardStrat   func(shard int) WaitStrategy
 	sup          *SupervisorConfig
+}
+
+// dispatcherPool resolves the executor's worker bound: the explicit
+// WithDispatcherPool value, or the default — GOMAXPROCS, floored at 4.
+// GOMAXPROCS is the natural ceiling on useful delivery parallelism (a
+// worker is CPU-bound between blocking waits); the floor keeps a small
+// reserve of workers on low-core hosts so a delivery blocked behind an
+// unsettled grant does not single-handedly stall every other stripe's
+// async pipeline (see the pool-liveness note in locktable_async.go).
+func (c config) dispatcherPool() int {
+	if c.dispPool > 0 {
+		return c.dispPool
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
 }
 
 func buildConfig(opts []Option) config {
@@ -95,35 +118,56 @@ func WithTableSeed(seed uint64) Option {
 	}
 }
 
-// WithDispatcherSpin sets how many backoff rounds a LockTable's per-shard
-// async dispatcher spins for the next submission after draining its inbox
-// before parking on its channel. Idle dispatchers always end at a real
-// park — never a yield loop — whatever the table's worker-side wait
-// strategy; this knob only sizes the spin window that lets a loaded
-// pipeline catch the next burst's wake without paying the park/unpark
-// round trip. Values <= 0 select the engine's small default. New and
-// NewTree ignore the option.
+// WithDispatcherSpin sets how many backoff rounds each of a LockTable's
+// shared dispatcher workers spins for the next runnable stripe after the
+// run queue empties, before parking on the pool's idle chain. An idle
+// pool always ends at a real park — never a yield loop — whatever the
+// table's worker-side wait strategy; this knob only sizes the spin
+// window that lets a loaded pipeline catch the next burst's wake without
+// paying the park/unpark round trip. Values <= 0 select the engine's
+// small default. New and NewTree ignore the option.
 func WithDispatcherSpin(rounds int) Option {
 	return func(c *config) { c.dispSpin = rounds }
 }
 
+// WithDispatcherPool bounds the shared dispatcher runtime: at most n
+// worker goroutines serve every stripe's async deliveries, spawned
+// lazily as traffic demands and parked on one idle chain when the run
+// queue is empty (see dispatch.go). The bound is the async tier's whole
+// goroutine footprint — an idle table holds at most n dispatcher
+// goroutines however many stripes have seen traffic, and
+// TableStats.Dispatcher reports the pool's live/engaged/backlog gauges.
+//
+// n trades footprint against delivery parallelism and, at the extreme,
+// liveness: a worker delivering a grant blocks until the stripe's
+// current holder settles, so workloads that deliberately park many
+// unreceived grants while issuing more async traffic should size n to
+// that concurrency (see the pool-liveness note in locktable_async.go).
+// Values <= 0 select the default: GOMAXPROCS, floored at 4. New and
+// NewTree ignore the option.
+func WithDispatcherPool(n int) Option {
+	return func(c *config) { c.dispPool = n }
+}
+
 // WithAsyncPrewarm pre-builds n async request nodes (each owning its
 // reusable grant channel) on every shard's free list at construction,
-// and starts every shard's dispatcher eagerly — for callers that pin
-// allocation budgets from the first request rather than steady state.
-// Request free lists are per shard, so the guarantee must be too: with
-// the prewarm in place, the calling side of LockAsync / LockAsyncFunc
-// allocates nothing even for a stripe's very first request (up to n in
-// flight per stripe). The lock protocol behind the dispatcher still
-// fills its own node pools over each stripe's first few passages, on the
-// dispatcher goroutine, exactly as any cold lock does.
+// and spawns the dispatcher pool's full complement of workers eagerly —
+// for callers that pin allocation budgets from the first request rather
+// than steady state. Request free lists are per shard, so the guarantee
+// must be too: with the prewarm in place, the calling side of LockAsync
+// / LockAsyncFunc allocates nothing even for a stripe's very first
+// request (up to n in flight per stripe) — without it, a cold table's
+// early submissions may pay the pool's lazy worker spawns. The lock
+// protocol behind the delivery still fills its own node pools over each
+// stripe's first few passages, on the engaged worker, exactly as any
+// cold lock does.
 //
-// The up-front cost is Shards()×n request nodes plus one idle-parked
-// dispatcher goroutine per shard (which would otherwise start lazily on
-// the shard's first submission); Close winds the dispatchers down. The
-// steady-state behavior is unaffected: nodes are recycled and each free
-// list grows to its stripe's in-flight high-water mark either way. New
-// and NewTree ignore the option.
+// The up-front cost is Shards()×n request nodes plus the
+// WithDispatcherPool(n) workers, idle-parked (they would otherwise spawn
+// lazily as traffic demands); Close winds the pool down. The steady-state
+// behavior is unaffected: nodes are recycled and each free list grows to
+// its stripe's in-flight high-water mark either way. New and NewTree
+// ignore the option.
 func WithAsyncPrewarm(n int) Option {
 	return func(c *config) {
 		if n > 0 {
@@ -167,9 +211,9 @@ func WithShardBackend(b ShardBackend) Option {
 //
 // The hook shapes only how waiters pass the time; correctness (mutual
 // exclusion, crash recovery, the striping contracts) is identical across
-// strategies, so mixing them within one table is safe. The async
-// dispatchers' idle parking is not affected (it is always spin-then-park;
-// see WithDispatcherSpin). New and NewTree ignore the option.
+// strategies, so mixing them within one table is safe. The dispatcher
+// pool's idle parking is not affected (it is always spin-then-park; see
+// WithDispatcherSpin). New and NewTree ignore the option.
 func WithShardStrategy(fn func(shard int) WaitStrategy) Option {
 	return func(c *config) { c.shardStrat = fn }
 }

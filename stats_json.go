@@ -82,18 +82,43 @@ func (s SupervisorStats) MarshalJSON() ([]byte, error) {
 	})
 }
 
+type dispatcherStatsJSON struct {
+	PoolSize      int    `json:"pool_size"`
+	Workers       int    `json:"workers"`
+	Engaged       int    `json:"engaged"`
+	RunQueueDepth int    `json:"run_queue_depth"`
+	Batches       uint64 `json:"batches"`
+	Steals        uint64 `json:"steals"`
+}
+
+// MarshalJSON encodes the shared dispatcher runtime's pool gauges with
+// stable snake_case keys.
+func (s DispatcherStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(dispatcherStatsJSON{
+		PoolSize:      s.PoolSize,
+		Workers:       s.Workers,
+		Engaged:       s.Engaged,
+		RunQueueDepth: s.RunQueueDepth,
+		Batches:       s.Batches,
+		Steals:        s.Steals,
+	})
+}
+
 type tableStatsJSON struct {
 	Shards     []ShardStats    `json:"shards"`
 	Total      ShardStats      `json:"total"`
 	Supervisor SupervisorStats `json:"supervisor"`
+	Dispatcher DispatcherStats `json:"dispatcher"`
 }
 
 // MarshalJSON encodes the whole table snapshot: the per-stripe array, the
-// Total() aggregate, and the supervisor's counters.
+// Total() aggregate, the supervisor's counters, and the dispatcher
+// pool's gauges.
 func (ts TableStats) MarshalJSON() ([]byte, error) {
 	return json.Marshal(tableStatsJSON{
 		Shards:     ts.Shards,
 		Total:      ts.Total(),
 		Supervisor: ts.Supervisor,
+		Dispatcher: ts.Dispatcher,
 	})
 }

@@ -69,6 +69,23 @@ import (
 // table-wide (migMu) and bounded by QuiesceTimeout: a stripe that will
 // not drain stays on its current shape — migration is an optimization,
 // never a liveness hazard.
+//
+// # Coordination with the shared dispatcher runtime
+//
+// The supervisor needs nothing special from the executor (dispatch.go),
+// but two interactions are worth naming. First, a pool worker delivering
+// on a migrating stripe parks at the gate like any entrant — it holds
+// deliverMu, which the barrier never takes, so the handshake is
+// unaffected; the worker does occupy one WithDispatcherPool slot for the
+// drain's duration, which is one more reason QuiesceTimeout is bounded.
+// A pending async request parked this way holds no lease, so it never
+// blocks the drain itself (the barrier waits on lease words alone).
+// Second, the abandoned-grant path: a grant a supervisor Abandons (or a
+// cancelled-but-granted request auto-abandons) becomes an ordinary
+// orphan, and its recovery is driven entirely by sweeps — pool workers
+// are not involved in healing, so a fully-blocked pool can never stall
+// reclaim, and the eager first tick a restored table asks for (see
+// supervisor.eager) runs before any pool worker has even spawned.
 
 // SupervisorConfig tunes the background supervisor a LockTable starts
 // when built WithSupervisor. The zero value is valid: reclaim-only
